@@ -1,0 +1,116 @@
+"""Ablation A5: streaming vs. DOM-based bulk index construction.
+
+The paper bulk-loads I_0 for documents up to 211 MB; a DOM-based build
+holds the whole tree, a streaming build only the open-element stack.
+This ablation compares wall time and peak-memory proxies of the two
+paths on growing XMark-like documents (the streamed index is verified
+equal to the DOM one).
+"""
+
+from __future__ import annotations
+
+import sys
+import tracemalloc
+
+import pytest
+
+from repro.core import GramConfig, PQGramIndex
+from repro.datasets import xmark_tree
+from repro.hashing import LabelHasher
+from repro.xmlio import parse_xml, write_xml
+from repro.xmlio.stream import stream_index_xml
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from conftest import emit, format_table, wall_time
+
+SIZES = (4_000, 16_000, 64_000)
+CONFIG = GramConfig(3, 3)
+
+
+def document_text(node_budget: int) -> str:
+    return write_xml(xmark_tree(node_budget, seed=5))
+
+
+@pytest.fixture(scope="module")
+def medium_text():
+    return document_text(16_000)
+
+
+def test_dom_build(benchmark, medium_text):
+    index = benchmark.pedantic(
+        lambda: PQGramIndex.from_tree(
+            parse_xml(medium_text), CONFIG, LabelHasher()
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert index.size() > 0
+
+
+def test_streaming_build(benchmark, medium_text):
+    index = benchmark.pedantic(
+        lambda: stream_index_xml(medium_text, CONFIG, LabelHasher()),
+        rounds=3,
+        iterations=1,
+    )
+    assert index.size() > 0
+
+
+def peak_memory(callable_) -> int:
+    tracemalloc.start()
+    callable_()
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return peak
+
+
+def run_full_series() -> str:
+    rows = []
+    for node_budget in SIZES:
+        text = document_text(node_budget)
+        dom = PQGramIndex.from_tree(parse_xml(text), CONFIG, LabelHasher())
+        streamed = stream_index_xml(text, CONFIG, LabelHasher())
+        assert dom == streamed
+        dom_seconds = wall_time(
+            lambda: PQGramIndex.from_tree(parse_xml(text), CONFIG, LabelHasher()),
+            repeats=2,
+        )
+        stream_seconds = wall_time(
+            lambda: stream_index_xml(text, CONFIG, LabelHasher()), repeats=2
+        )
+        dom_peak = peak_memory(
+            lambda: PQGramIndex.from_tree(parse_xml(text), CONFIG, LabelHasher())
+        )
+        stream_peak = peak_memory(
+            lambda: stream_index_xml(text, CONFIG, LabelHasher())
+        )
+        rows.append(
+            (
+                node_budget,
+                f"{len(text) / 1024:.0f}",
+                f"{dom_seconds * 1e3:.0f}",
+                f"{stream_seconds * 1e3:.0f}",
+                f"{dom_peak / 1024 / 1024:.1f}",
+                f"{stream_peak / 1024 / 1024:.1f}",
+            )
+        )
+    return format_table(
+        (
+            "nodes",
+            "XML [KiB]",
+            "DOM build [ms]",
+            "stream build [ms]",
+            "DOM peak [MiB]",
+            "stream peak [MiB]",
+        ),
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    emit(
+        "ablation_a5_streaming.txt",
+        "Ablation A5 — DOM vs. streaming index construction "
+        "(XMark-like documents, 3,3-grams)",
+        run_full_series(),
+    )

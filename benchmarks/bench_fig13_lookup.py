@@ -1,0 +1,111 @@
+"""Fig. 13 (left): approximate lookup time, with vs. without a
+precomputed index.
+
+Paper setup: three XML collections with a similar total node count
+(~50M) but different tree counts (31 … 1999); the lookup of one
+document is timed.  Finding: with the precomputed index, lookup time is
+(nearly) independent of the number of trees; without it, on-the-fly
+index construction dominates and grows with the collection.
+
+Scaled setup here: collections share a total budget of ~60k nodes with
+tree counts {16, 64, 256}.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core import GramConfig
+from repro.datasets import xmark_tree
+from repro.lookup import ForestIndex, LookupService
+from repro.tree import Tree
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from conftest import emit, format_table, wall_time
+
+TOTAL_NODE_BUDGET = 60_000
+TREE_COUNTS = (16, 64, 256)
+TAU = 0.8
+
+
+def build_collection(tree_count: int) -> List[Tuple[int, Tree]]:
+    per_tree = TOTAL_NODE_BUDGET // tree_count
+    return [
+        (tree_id, xmark_tree(per_tree, seed=1000 * tree_count + tree_id))
+        for tree_id in range(tree_count)
+    ]
+
+
+def build_forest(collection: List[Tuple[int, Tree]]) -> ForestIndex:
+    forest = ForestIndex(GramConfig(3, 3))
+    for tree_id, tree in collection:
+        forest.add_tree(tree_id, tree)
+    return forest
+
+
+@pytest.fixture(scope="module")
+def medium_collection():
+    collection = build_collection(64)
+    return collection, build_forest(collection)
+
+
+def test_lookup_with_precomputed_index(benchmark, medium_collection):
+    collection, forest = medium_collection
+    service = LookupService(forest)
+    query = collection[5][1]
+    result = benchmark(lambda: service.lookup(query, TAU))
+    assert result.trees_compared == len(collection)
+
+
+def test_lookup_without_precomputed_index(benchmark, medium_collection):
+    collection, forest = medium_collection
+    service = LookupService(forest)
+    query = collection[5][1]
+    result = benchmark.pedantic(
+        lambda: service.lookup_without_index(query, collection, TAU),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.seconds_index_construction > 0
+
+
+def run_full_series() -> str:
+    rows = []
+    for tree_count in TREE_COUNTS:
+        collection = build_collection(tree_count)
+        forest = build_forest(collection)
+        service = LookupService(forest)
+        query = collection[tree_count // 2][1]
+        with_index = wall_time(lambda: service.lookup(query, TAU), repeats=3)
+        without = service.lookup_without_index(query, collection, TAU)
+        rows.append(
+            (
+                tree_count,
+                sum(len(tree) for _, tree in collection),
+                f"{with_index * 1e3:.1f}",
+                f"{without.seconds_total * 1e3:.1f}",
+                f"{without.seconds_index_construction * 1e3:.1f}",
+            )
+        )
+    return format_table(
+        (
+            "trees",
+            "total nodes",
+            "with index [ms]",
+            "without index [ms]",
+            "  of which construction [ms]",
+        ),
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    emit(
+        "fig13_left_lookup.txt",
+        "Fig. 13 (left) — approximate lookup time vs. number of trees "
+        f"(total budget {TOTAL_NODE_BUDGET} nodes, 3,3-grams, tau={TAU})",
+        run_full_series(),
+    )

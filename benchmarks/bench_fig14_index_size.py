@@ -1,0 +1,88 @@
+"""Fig. 14 (left): index size vs. document size.
+
+Paper setup: tree sizes swept; the serialized index — hash values and
+counts only, duplicates stored once — is significantly smaller than
+the document for both 1,2- and 3,3-grams, and grows sublinearly in the
+node count (duplicate pq-grams become more likely in larger trees).
+
+Scaled setup: XMark-like documents from 2k to 32k nodes; sizes are
+compared in bytes (UTF-8 XML vs. 12 bytes per distinct index row).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.core import GramConfig, PQGramIndex
+from repro.datasets import xmark_tree
+from repro.hashing import LabelHasher
+from repro.xmlio import write_xml
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from conftest import emit, format_table
+
+TREE_SIZES = (2_000, 4_000, 8_000, 16_000, 32_000)
+CONFIGS = (GramConfig(1, 2), GramConfig(3, 3))
+
+
+@pytest.fixture(scope="module")
+def medium_tree():
+    return xmark_tree(8_000, seed=14)
+
+
+def test_index_construction_12_grams(benchmark, medium_tree):
+    index = benchmark.pedantic(
+        lambda: PQGramIndex.from_tree(medium_tree, GramConfig(1, 2), LabelHasher()),
+        rounds=3,
+        iterations=1,
+    )
+    assert index.serialized_size_bytes() > 0
+
+
+def test_index_construction_33_grams(benchmark, medium_tree):
+    index = benchmark.pedantic(
+        lambda: PQGramIndex.from_tree(medium_tree, GramConfig(3, 3), LabelHasher()),
+        rounds=3,
+        iterations=1,
+    )
+    assert index.serialized_size_bytes() > 0
+
+
+def test_document_serialization(benchmark, medium_tree):
+    text = benchmark.pedantic(
+        lambda: write_xml(medium_tree), rounds=3, iterations=1
+    )
+    assert len(text) > 0
+
+
+def run_full_series() -> str:
+    rows = []
+    for node_budget in TREE_SIZES:
+        tree = xmark_tree(node_budget, seed=14)
+        document_bytes = len(write_xml(tree).encode("utf-8"))
+        index_bytes = {}
+        for config in CONFIGS:
+            index = PQGramIndex.from_tree(tree, config, LabelHasher())
+            index_bytes[config] = index.serialized_size_bytes()
+        rows.append(
+            (
+                len(tree),
+                f"{document_bytes / 1024:.0f}",
+                f"{index_bytes[CONFIGS[0]] / 1024:.0f}",
+                f"{index_bytes[CONFIGS[1]] / 1024:.0f}",
+            )
+        )
+    return format_table(
+        ("tree nodes", "document [KiB]", "1,2-gram index [KiB]", "3,3-gram index [KiB]"),
+        rows,
+    )
+
+
+if __name__ == "__main__":
+    emit(
+        "fig14_left_index_size.txt",
+        "Fig. 14 (left) — serialized index size vs. document size",
+        run_full_series(),
+    )

@@ -1,0 +1,64 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark file reproduces one table or figure of the paper's
+Section 9 (or an ablation; see DESIGN.md's per-experiment index).  Each
+file can also be run standalone —
+
+    python benchmarks/bench_fig13_lookup.py
+
+— to print the full paper-style series; under pytest-benchmark only the
+timing-relevant kernels are measured.  Results of standalone runs are
+written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def results_path(name: str) -> str:
+    """Path of a result file, creating the results directory."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return os.path.join(RESULTS_DIR, name)
+
+
+def wall_time(callable_: Callable[[], object], repeats: int = 1) -> float:
+    """Best-of-``repeats`` wall time of one call, in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """A fixed-width text table (the benches print paper-style rows)."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = [
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in materialized:
+        lines.append(
+            "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def emit(name: str, title: str, table: str) -> None:
+    """Print a result table and persist it for EXPERIMENTS.md."""
+    text = f"{title}\n\n{table}\n"
+    print("\n" + text)
+    with open(results_path(name), "w", encoding="utf-8") as handle:
+        handle.write(text)

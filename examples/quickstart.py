@@ -1,0 +1,64 @@
+"""Quickstart: build a pq-gram index, edit the document, maintain the
+index incrementally, and compare the result with a rebuild.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    GramConfig,
+    LabelHasher,
+    PQGramIndex,
+    apply_script,
+    Delete,
+    Insert,
+    Rename,
+    pq_gram_distance,
+    tree_from_brackets,
+    tree_to_brackets,
+    update_index,
+)
+
+
+def main() -> None:
+    # 1. A small hierarchical document (bracket notation: label(children)).
+    document = tree_from_brackets("article(author(A. Author),title(On Trees),year(2006))")
+    print("document:     ", tree_to_brackets(document))
+
+    # 2. Build its pq-gram index (the bag of hashed label tuples of all
+    #    pq-grams; 2,3-grams here).
+    config = GramConfig(p=2, q=3)
+    hasher = LabelHasher()
+    index = PQGramIndex.from_tree(document, config, hasher)
+    print("index size:   ", index.size(), "pq-grams,",
+          index.distinct_size(), "distinct label tuples")
+
+    # 3. Edit the document.  apply_script returns the edited tree plus
+    #    the log of inverse operations — exactly the inputs the
+    #    incremental maintenance needs (the original tree may be gone).
+    year_leaf = 6  # the text leaf under <year>
+    script = [
+        Rename(year_leaf, "2007"),                     # fix the year
+        Insert(99, "pages", document.root_id, 4, 3),   # add a field
+        Delete(2),                                     # drop the author text
+    ]
+    edited, log = apply_script(document, script)
+    print("edited:       ", tree_to_brackets(edited))
+    print("inverse log:  ", "; ".join(str(op) for op in log))
+
+    # 4. Maintain the index incrementally: no intermediate versions, no
+    #    original document — just the old index, the result, the log.
+    new_index = update_index(index, edited, log, hasher)
+
+    # 5. It matches a from-scratch rebuild exactly.
+    rebuilt = PQGramIndex.from_tree(edited, config, hasher)
+    assert new_index == rebuilt
+    print("incremental index == rebuilt index:", new_index == rebuilt)
+
+    # 6. The pq-gram distance quantifies how much the edit changed the
+    #    document (0 = identical label structure, → 1 = unrelated).
+    print(f"pq-gram distance old vs. new: "
+          f"{pq_gram_distance(document, edited, config):.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so
+PEP 660 editable installs are unavailable; ``pip install -e . \
+--no-build-isolation --no-use-pep517`` uses this file instead.  All
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

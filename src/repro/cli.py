@@ -1,0 +1,241 @@
+"""Command-line interface.
+
+``python -m repro <command>`` exposes the library's main workflows
+over XML files and store directories:
+
+- ``index``     build the pq-gram index of an XML file, print stats
+- ``distance``  pq-gram distance between two XML files
+- ``diff``      edit script between two XML file versions
+- ``store ...`` manage a durable document store:
+  ``store add / edit / lookup / list / show``
+
+Examples::
+
+    python -m repro index doc.xml --p 2 --q 3
+    python -m repro distance old.xml new.xml
+    python -m repro diff old.xml new.xml > edits.log
+    python -m repro store --dir ./mystore add 1 doc.xml
+    python -m repro store --dir ./mystore edit 1 edits.log
+    python -m repro store --dir ./mystore lookup query.xml --tau 0.4
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.config import GramConfig
+from repro.core.distance import pq_gram_distance
+from repro.core.index import PQGramIndex
+from repro.edits.diff import diff_trees
+from repro.edits.serialize import format_operations, parse_operations
+from repro.hashing.labelhash import LabelHasher
+from repro.service.store import DocumentStore
+from repro.tree.traversal import tree_depth
+from repro.xmlio.parser import tree_from_xml
+
+
+def _add_gram_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--p", type=int, default=3, help="p-part length (default 3)")
+    parser.add_argument("--q", type=int, default=3, help="q-part width (default 3)")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Incrementally maintainable pq-gram index (VLDB 2006 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    index_parser = commands.add_parser("index", help="index an XML file")
+    index_parser.add_argument("file", help="XML document")
+    index_parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="build the index from the token stream without a DOM "
+        "(O(depth) memory; tree statistics are skipped)",
+    )
+    index_parser.add_argument(
+        "--dump",
+        type=int,
+        metavar="N",
+        help="also print the N most frequent label tuples, decoded",
+    )
+    _add_gram_arguments(index_parser)
+
+    distance_parser = commands.add_parser(
+        "distance", help="pq-gram distance between two XML files"
+    )
+    distance_parser.add_argument("left")
+    distance_parser.add_argument("right")
+    _add_gram_arguments(distance_parser)
+
+    diff_parser = commands.add_parser(
+        "diff", help="edit script between two XML versions (old -> new)"
+    )
+    diff_parser.add_argument("old")
+    diff_parser.add_argument("new")
+
+    store_parser = commands.add_parser("store", help="manage a document store")
+    store_parser.add_argument("--dir", required=True, help="store directory")
+    _add_gram_arguments(store_parser)
+    store_commands = store_parser.add_subparsers(dest="store_command", required=True)
+
+    add_parser = store_commands.add_parser("add", help="add an XML document")
+    add_parser.add_argument("doc_id", type=int)
+    add_parser.add_argument("file")
+
+    edit_parser = store_commands.add_parser(
+        "edit", help="apply an edit-log file to a document"
+    )
+    edit_parser.add_argument("doc_id", type=int)
+    edit_parser.add_argument("log_file")
+
+    lookup_parser = store_commands.add_parser(
+        "lookup", help="approximate lookup of an XML query"
+    )
+    lookup_parser.add_argument("file")
+    lookup_parser.add_argument("--tau", type=float, default=0.5)
+
+    store_commands.add_parser("list", help="list stored documents")
+
+    show_parser = store_commands.add_parser("show", help="document statistics")
+    show_parser.add_argument("doc_id", type=int)
+
+    store_commands.add_parser(
+        "verify",
+        help="check every maintained index against a from-scratch rebuild",
+    )
+
+    dupes_parser = store_commands.add_parser(
+        "duplicates", help="similarity self-join over the stored documents"
+    )
+    dupes_parser.add_argument("--tau", type=float, default=0.3)
+    return parser
+
+
+def _command_index(arguments: argparse.Namespace) -> int:
+    config = GramConfig(arguments.p, arguments.q)
+    hasher = LabelHasher(keep_reverse_map=arguments.dump is not None)
+    print(f"document:            {arguments.file}")
+    if arguments.stream:
+        from repro.xmlio.stream import stream_index_xml_file
+
+        index = stream_index_xml_file(arguments.file, config, hasher)
+        print("mode:                streaming (no DOM)")
+    else:
+        tree = tree_from_xml(arguments.file)
+        index = PQGramIndex.from_tree(tree, config, hasher)
+        print(f"nodes:               {len(tree)}")
+        print(f"depth:               {tree_depth(tree)}")
+    print(f"gram shape:          {config}")
+    print(f"pq-grams:            {index.size()}")
+    print(f"distinct label tuples: {index.distinct_size()}")
+    print(f"index size (approx): {index.serialized_size_bytes()} bytes")
+    if arguments.dump is not None:
+        from repro.core.inspect import explain_index
+
+        print()
+        print(explain_index(index, hasher, limit=arguments.dump))
+    return 0
+
+
+def _command_distance(arguments: argparse.Namespace) -> int:
+    left = tree_from_xml(arguments.left)
+    right = tree_from_xml(arguments.right)
+    config = GramConfig(arguments.p, arguments.q)
+    distance = pq_gram_distance(left, right, config)
+    print(f"{distance:.6f}")
+    return 0
+
+
+def _command_diff(arguments: argparse.Namespace) -> int:
+    old = tree_from_xml(arguments.old)
+    new = tree_from_xml(arguments.new)
+    script = diff_trees(old, new)
+    if script:
+        print(format_operations(script))
+    print(f"# {len(script)} operation(s)", file=sys.stderr)
+    return 0
+
+
+def _command_store(arguments: argparse.Namespace) -> int:
+    store = DocumentStore(arguments.dir, GramConfig(arguments.p, arguments.q))
+    if arguments.store_command == "add":
+        store.add_document(arguments.doc_id, tree_from_xml(arguments.file))
+        print(f"added document {arguments.doc_id}")
+    elif arguments.store_command == "edit":
+        with open(arguments.log_file, "r", encoding="utf-8") as handle:
+            operations = parse_operations(handle.read())
+        store.apply_edits(arguments.doc_id, operations)
+        print(
+            f"applied {len(operations)} operation(s) to document "
+            f"{arguments.doc_id}; index maintained incrementally"
+        )
+    elif arguments.store_command == "lookup":
+        query = tree_from_xml(arguments.file)
+        result = store.lookup(query, arguments.tau)
+        if not result.matches:
+            print(f"no documents within tau={arguments.tau}")
+        for document_id, distance in result.matches:
+            print(f"doc {document_id}\tdistance {distance:.4f}")
+    elif arguments.store_command == "list":
+        for document_id in store.document_ids():
+            document = store.get_document(document_id)
+            print(f"doc {document_id}\t{len(document)} nodes")
+    elif arguments.store_command == "show":
+        document = store.get_document(arguments.doc_id)
+        index = store.get_index(arguments.doc_id)
+        print(f"doc {arguments.doc_id}: {len(document)} nodes, "
+              f"depth {tree_depth(document)}, "
+              f"{index.size()} pq-grams "
+              f"({index.distinct_size()} distinct)")
+    elif arguments.store_command == "verify":
+        corrupt = 0
+        for document_id in store.document_ids():
+            rebuilt = PQGramIndex.from_tree(
+                store.get_document(document_id),
+                store.config,
+                store._forest.hasher,
+            )
+            status = "ok" if rebuilt == store.get_index(document_id) else "MISMATCH"
+            if status != "ok":
+                corrupt += 1
+            print(f"doc {document_id}\t{status}")
+        print(f"{len(store)} document(s) verified, {corrupt} mismatch(es)")
+        return 1 if corrupt else 0
+    elif arguments.store_command == "duplicates":
+        from repro.lookup.join import self_join
+
+        pairs, stats = self_join(store._forest, arguments.tau)
+        for left_id, right_id, distance in pairs:
+            print(f"doc {left_id}\tdoc {right_id}\tdistance {distance:.4f}")
+        print(
+            f"# {stats.results} pair(s) within tau={arguments.tau} "
+            f"({stats.candidate_pairs}/{stats.total_pairs} pairs shared pq-grams)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    arguments = _build_parser().parse_args(argv)
+    handlers = {
+        "index": _command_index,
+        "distance": _command_distance,
+        "diff": _command_diff,
+        "store": _command_store,
+    }
+    try:
+        return handlers[arguments.command](arguments)
+    except BrokenPipeError:
+        return 0  # output piped into a pager/head that closed early
+    except Exception as exc:  # surface errors as clean one-liners
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""pq-gram parameters.
+
+The paper requires p > 0 and q > 0 (Definition 1) and uses 3,3-grams in
+all experiments unless noted; Fig. 14 additionally evaluates 1,2-grams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GramConfigError
+
+
+@dataclass(frozen=True)
+class GramConfig:
+    """The shape parameters of pq-grams.
+
+    ``p`` is the length of the ancestor chain (anchor included); ``q``
+    the width of the child window.
+    """
+
+    p: int = 3
+    q: int = 3
+
+    def __post_init__(self) -> None:
+        if self.p < 1 or self.q < 1:
+            raise GramConfigError(f"p and q must be positive, got p={self.p}, q={self.q}")
+
+    @property
+    def gram_width(self) -> int:
+        """Number of nodes in one pq-gram."""
+        return self.p + self.q
+
+    def grams_per_node(self, fanout: int) -> int:
+        """Number of pq-grams anchored at a node of the given fanout.
+
+        A non-leaf with fanout f anchors f + q - 1 pq-grams, a leaf
+        anchors exactly one (Section 7.1).
+        """
+        if fanout == 0:
+            return 1
+        return fanout + self.q - 1
+
+    def __str__(self) -> str:
+        return f"{self.p},{self.q}-grams"

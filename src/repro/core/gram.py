@@ -1,0 +1,78 @@
+"""pq-grams at node level (Definition 1).
+
+A pq-gram is linearly encoded as a tuple of p + q nodes: the p-part
+(ancestor chain ending in the anchor) followed by the q-part (a window
+of q contiguous children of the anchor, null-padded at the borders).
+Node-level pq-grams identify nodes by (id, label) pairs; they are the
+elements of *profiles* and the inputs of the set algebra in the paper's
+proofs.  The persistent index only keeps their hashed label tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.config import GramConfig
+from repro.errors import GramConfigError
+from repro.hashing.labelhash import LabelHasher, NULL_HASH
+from repro.tree.node import Node
+
+
+@dataclass(frozen=True)
+class PQGram:
+    """One pq-gram: ``nodes`` = p-part followed by q-part."""
+
+    nodes: Tuple[Node, ...]
+    p: int
+    q: int
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) != self.p + self.q:
+            raise GramConfigError(
+                f"a {self.p},{self.q}-gram needs {self.p + self.q} nodes, "
+                f"got {len(self.nodes)}"
+            )
+
+    @property
+    def anchor(self) -> Node:
+        """The anchor node (last node of the p-part)."""
+        return self.nodes[self.p - 1]
+
+    @property
+    def p_part(self) -> Tuple[Node, ...]:
+        """The ancestor chain, topmost first, anchor last."""
+        return self.nodes[: self.p]
+
+    @property
+    def q_part(self) -> Tuple[Node, ...]:
+        """The child window of the anchor."""
+        return self.nodes[self.p :]
+
+    def label_tuple(self) -> Tuple[str, ...]:
+        """λ(g): the tuple of the pq-gram's node labels."""
+        return tuple(node.label for node in self.nodes)
+
+    def hash_tuple(self, hasher: LabelHasher) -> Tuple[int, ...]:
+        """The hashed label tuple stored in the persistent index."""
+        return tuple(
+            NULL_HASH if node.is_null else hasher.hash_label(node.label)
+            for node in self.nodes
+        )
+
+    def contains_node(self, node_id: Optional[int]) -> bool:
+        """Whether the (real) node with this id occurs in the pq-gram.
+
+        ``None`` never matches: null padding nodes have no identity.
+        """
+        if node_id is None:
+            return False
+        return any(node.id == node_id for node in self.nodes)
+
+    def config(self) -> GramConfig:
+        """The gram shape of this pq-gram."""
+        return GramConfig(self.p, self.q)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ",".join(repr(node) for node in self.nodes)
+        return f"({inner})"

@@ -1,0 +1,71 @@
+"""Human-readable index inspection.
+
+The persistent index stores only label hashes; with a hasher that kept
+its reverse map, these helpers decode indexes back to readable label
+tuples for debugging, CLI dumps and teaching material.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.index import PQGramIndex
+from repro.hashing.labelhash import LabelHasher
+from repro.tree.node import NULL_LABEL
+
+Key = Tuple[int, ...]
+
+
+def decode_key(key: Key, hasher: LabelHasher) -> Tuple[str, ...]:
+    """Label tuple of one index key; unknown hashes render as ``?#hash``."""
+    decoded: List[str] = []
+    for value in key:
+        label = hasher.lookup(value)
+        decoded.append(label if label is not None else f"?#{value}")
+    return tuple(decoded)
+
+
+def format_gram(labels: Tuple[str, ...], p: int) -> str:
+    """Render a decoded tuple with the p-part / q-part split visible."""
+    p_part = ",".join(labels[:p])
+    q_part = ",".join(labels[p:])
+    return f"({p_part} | {q_part})"
+
+
+def explain_index(
+    index: PQGramIndex,
+    hasher: LabelHasher,
+    limit: Optional[int] = 20,
+) -> str:
+    """A readable dump of the most frequent label tuples of an index."""
+    rows = sorted(index.items(), key=lambda pair: (-pair[1], pair[0]))
+    if limit is not None:
+        rows = rows[:limit]
+    lines = [
+        f"{index.size()} pq-grams, {index.distinct_size()} distinct "
+        f"label tuples ({index.config})"
+    ]
+    for key, count in rows:
+        labels = decode_key(key, hasher)
+        lines.append(f"  {count:6d}  {format_gram(labels, index.config.p)}")
+    remaining = index.distinct_size() - len(rows)
+    if remaining > 0:
+        lines.append(f"  ... and {remaining} more distinct tuples")
+    return "\n".join(lines)
+
+
+def diff_indexes(
+    left: PQGramIndex, right: PQGramIndex
+) -> Tuple[Dict[Key, int], Dict[Key, int]]:
+    """Per-key count surplus of each side — the debugging view of
+    ``I_left ∖ I_right`` and ``I_right ∖ I_left`` (bag semantics)."""
+    only_left: Dict[Key, int] = {}
+    only_right: Dict[Key, int] = {}
+    keys = set(dict(left.items())) | set(dict(right.items()))
+    for key in keys:
+        delta = left.count(key) - right.count(key)
+        if delta > 0:
+            only_left[key] = delta
+        elif delta < 0:
+            only_right[key] = -delta
+    return only_left, only_right

@@ -1,0 +1,60 @@
+"""Unconstrained random trees for property-based tests.
+
+These trees have no schema at all — every shape is reachable — which is
+what the correctness oracles want: the maintenance theorems must hold
+for *any* ordered labelled tree, not just XML-shaped ones.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.tree.tree import Tree
+
+DEFAULT_ALPHABET: Sequence[str] = ("a", "b", "c", "d", "e")
+
+
+def random_labelled_tree(
+    size: int,
+    seed: int = 0,
+    alphabet: Sequence[str] = DEFAULT_ALPHABET,
+    rng: Optional[random.Random] = None,
+) -> Tree:
+    """A uniform-attachment random tree with exactly ``size`` nodes.
+
+    Every new node picks a uniformly random existing parent and a
+    uniformly random insertion position, so fanouts follow a heavy
+    tail and depths stay logarithmic on average — a good stress mix.
+    """
+    if size < 1:
+        raise ValueError("size must be at least 1")
+    rng = rng or random.Random(seed)
+    tree = Tree(rng.choice(list(alphabet)))
+    ids = [tree.root_id]
+    for _ in range(size - 1):
+        parent = rng.choice(ids)
+        position = rng.randint(1, tree.fanout(parent) + 1)
+        ids.append(
+            tree.add_child(parent, rng.choice(list(alphabet)), position=position)
+        )
+    return tree
+
+
+def random_chain(size: int, seed: int = 0, alphabet: Sequence[str] = DEFAULT_ALPHABET) -> Tree:
+    """A path-shaped tree (maximum depth) — the p-part stress case."""
+    rng = random.Random(seed)
+    tree = Tree(rng.choice(list(alphabet)))
+    current = tree.root_id
+    for _ in range(size - 1):
+        current = tree.add_child(current, rng.choice(list(alphabet)))
+    return tree
+
+
+def random_star(size: int, seed: int = 0, alphabet: Sequence[str] = DEFAULT_ALPHABET) -> Tree:
+    """A star-shaped tree (maximum fanout) — the q-part stress case."""
+    rng = random.Random(seed)
+    tree = Tree(rng.choice(list(alphabet)))
+    for _ in range(size - 1):
+        tree.add_child(tree.root_id, rng.choice(list(alphabet)))
+    return tree

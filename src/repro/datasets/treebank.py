@@ -1,0 +1,75 @@
+"""Treebank-like synthetic parse trees.
+
+Linguistic treebanks are the opposite structural regime from DBLP:
+deep (15–25 levels), narrow (fanout mostly 1–3), with a small
+non-terminal vocabulary above a leaf layer of tokens.  The original
+pq-gram work evaluates on both regimes; the A1 quality ablation uses
+this generator to show how (p, q) interacts with tree shape.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.tree.tree import Tree
+
+#: Phrase-structure labels (Penn-Treebank-flavoured, abbreviated set).
+_PHRASES = ("S", "NP", "VP", "PP", "SBAR", "ADJP", "ADVP")
+_TAGS = ("DT", "NN", "NNS", "VB", "VBD", "IN", "JJ", "RB", "PRP", "CC")
+_TOKENS = (
+    "the", "a", "cat", "indexes", "tree", "fast", "slowly", "on", "and",
+    "it", "matches", "document", "large", "grows", "under",
+)
+
+
+def _grow(
+    tree: Tree,
+    parent: int,
+    rng: random.Random,
+    depth: int,
+    budget: List[int],
+) -> None:
+    if budget[0] <= 0:
+        return
+    if depth <= 0 or (depth < 4 and rng.random() < 0.5):
+        # Terminal: POS tag over a token.
+        if budget[0] >= 2:
+            budget[0] -= 2
+            tag = tree.add_child(parent, rng.choice(_TAGS))
+            tree.add_child(tag, rng.choice(_TOKENS))
+        return
+    fanout = rng.choices((1, 2, 3), weights=(0.35, 0.45, 0.2))[0]
+    for _ in range(fanout):
+        if budget[0] <= 0:
+            return
+        budget[0] -= 1
+        phrase = tree.add_child(parent, rng.choice(_PHRASES))
+        _grow(tree, phrase, rng, depth - rng.randint(1, 2), budget)
+
+
+def treebank_tree(node_budget: int, seed: int = 0, max_depth: int = 18) -> Tree:
+    """A parse-forest document of roughly ``node_budget`` nodes:
+    a ``corpus`` root over many sentence trees."""
+    if node_budget < 1:
+        raise ValueError("node budget must be positive")
+    rng = random.Random(seed)
+    tree = Tree("corpus")
+    budget = [node_budget - 1]
+    while budget[0] > 0:
+        budget[0] -= 1
+        sentence = tree.add_child(tree.root_id, "S")
+        _grow(tree, sentence, rng, max_depth, budget)
+    return tree
+
+
+def sentence_tree(seed: int = 0, max_depth: int = 14) -> Tree:
+    """One standalone parse tree (≈20–80 nodes)."""
+    rng = random.Random(seed)
+    tree = Tree("S")
+    budget = [rng.randint(20, 80)]
+    _grow(tree, tree.root_id, rng, max_depth, budget)
+    if tree.is_leaf(tree.root_id):  # degenerate budget draw
+        tag = tree.add_child(tree.root_id, rng.choice(_TAGS))
+        tree.add_child(tag, rng.choice(_TOKENS))
+    return tree

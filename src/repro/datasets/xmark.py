@@ -1,0 +1,149 @@
+"""XMark-like synthetic XML documents.
+
+XMark's ``xmlgen`` produces an auction-site document: a ``site`` root
+with regions, categories, people and auctions, moderately deep (10–12
+levels) with mixed fanouts — small structured records and a few
+wide lists.  The generator below reproduces that structural profile
+deterministically from a seed and a target node budget; element names
+follow the XMark schema so the documents read naturally, while all
+text payloads are synthetic.
+
+Structure matters here, not content: index size, build time and delta
+locality depend only on node counts, fanout distribution and depth.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.tree.tree import Tree
+
+_WORDS = (
+    "quark", "lattice", "ember", "sable", "tarn", "quill", "vex", "mote",
+    "cairn", "brume", "lumen", "frond", "skein", "tussock", "girth", "nadir",
+)
+
+_COUNTRIES = ("Italy", "Austria", "Norway", "Japan", "Chile", "Ghana")
+_CATEGORIES_PER_1000 = 4
+_PEOPLE_PER_1000 = 12
+_AUCTIONS_PER_1000 = 10
+
+
+class _Budget:
+    """Tracks the remaining node budget during generation."""
+
+    def __init__(self, total: int) -> None:
+        self.remaining = total
+
+    def spend(self, count: int = 1) -> bool:
+        if self.remaining < count:
+            return False
+        self.remaining -= count
+        return True
+
+
+def _words(rng: random.Random, count: int) -> str:
+    return " ".join(rng.choice(_WORDS) for _ in range(count))
+
+
+def _leaf(tree: Tree, parent: int, label: str, text: str, budget: _Budget) -> None:
+    if budget.spend(2):
+        node = tree.add_child(parent, label)
+        tree.add_child(node, text)
+
+
+def _person(tree: Tree, parent: int, rng: random.Random, number: int, budget: _Budget) -> None:
+    if not budget.spend(1):
+        return
+    person = tree.add_child(parent, "person")
+    _leaf(tree, person, "name", f"{_words(rng, 1).title()} {_words(rng, 1).title()}", budget)
+    _leaf(tree, person, "emailaddress", f"user{number}@example.org", budget)
+    if rng.random() < 0.6 and budget.spend(1):
+        address = tree.add_child(person, "address")
+        _leaf(tree, address, "street", f"{rng.randint(1, 99)} {_words(rng, 1)} st", budget)
+        _leaf(tree, address, "city", _words(rng, 1).title(), budget)
+        _leaf(tree, address, "country", rng.choice(_COUNTRIES), budget)
+    if rng.random() < 0.4:
+        _leaf(tree, person, "creditcard", f"{rng.randint(1000, 9999)} ****", budget)
+
+
+def _category(tree: Tree, parent: int, rng: random.Random, budget: _Budget) -> None:
+    if not budget.spend(1):
+        return
+    category = tree.add_child(parent, "category")
+    _leaf(tree, category, "name", _words(rng, 2), budget)
+    if budget.spend(1):
+        description = tree.add_child(category, "description")
+        for _ in range(rng.randint(1, 3)):
+            if not budget.spend(1):
+                break
+            paragraph = tree.add_child(description, "parlist")
+            _leaf(tree, paragraph, "listitem", _words(rng, rng.randint(3, 8)), budget)
+
+
+def _auction(tree: Tree, parent: int, rng: random.Random, budget: _Budget) -> None:
+    if not budget.spend(1):
+        return
+    auction = tree.add_child(parent, "open_auction")
+    _leaf(tree, auction, "initial", f"{rng.uniform(1, 500):.2f}", budget)
+    for _ in range(rng.randint(0, 4)):
+        if not budget.spend(1):
+            break
+        bid = tree.add_child(auction, "bidder")
+        _leaf(tree, bid, "date", f"{rng.randint(1, 28):02d}/{rng.randint(1, 12):02d}/2006", budget)
+        _leaf(tree, bid, "increase", f"{rng.uniform(1, 50):.2f}", budget)
+    _leaf(tree, auction, "current", f"{rng.uniform(1, 900):.2f}", budget)
+    if budget.spend(1):
+        annotation = tree.add_child(auction, "annotation")
+        _leaf(tree, annotation, "description", _words(rng, rng.randint(4, 10)), budget)
+
+
+def xmark_tree(node_budget: int, seed: int = 0) -> Tree:
+    """An XMark-like document with approximately ``node_budget`` nodes.
+
+    Deterministic in ``(node_budget, seed)``.  The actual size lands
+    within a few percent below the budget (generation stops when the
+    budget is exhausted).
+    """
+    if node_budget < 1:
+        raise ValueError("node budget must be positive")
+    rng = random.Random(seed)
+    tree = Tree("site")
+    budget = _Budget(node_budget - 1)
+    if not budget.spend(3):
+        return tree
+    regions = tree.add_child(tree.root_id, "regions")
+    people = tree.add_child(tree.root_id, "people")
+    auctions = tree.add_child(tree.root_id, "open_auctions")
+    categories: Optional[int] = None
+    if budget.spend(1):
+        categories = tree.add_child(tree.root_id, "categories")
+    region_nodes: List[int] = []
+    for name in ("africa", "asia", "europe", "namerica"):
+        if budget.spend(1):
+            region_nodes.append(tree.add_child(regions, name))
+
+    scale = max(node_budget // 1000, 1)
+    person_number = 0
+    while budget.remaining > 0:
+        choice = rng.random()
+        if choice < 0.35:
+            _person(tree, people, rng, person_number, budget)
+            person_number += 1
+        elif choice < 0.65:
+            _auction(tree, auctions, rng, budget)
+        elif choice < 0.8 and categories is not None:
+            _category(tree, categories, rng, budget)
+        elif region_nodes:
+            region = rng.choice(region_nodes)
+            if budget.spend(1):
+                item = tree.add_child(region, "item")
+                _leaf(tree, item, "name", _words(rng, 2), budget)
+                _leaf(tree, item, "quantity", str(rng.randint(1, 9)), budget)
+                if rng.random() < 0.5 and budget.spend(1):
+                    description = tree.add_child(item, "description")
+                    _leaf(tree, description, "text", _words(rng, rng.randint(3, 9)), budget)
+        if scale and budget.remaining <= 0:
+            break
+    return tree

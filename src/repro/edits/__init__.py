@@ -1,0 +1,45 @@
+"""Tree edit operations, scripts and logs.
+
+The paper works with the standard node edit operations of Zhang & Shasha
+(Section 3.1): ``INS(n, v, k, m)`` inserts node ``n`` as the k-th child
+of ``v`` adopting v's children k..m; ``DEL(n)`` splices n's children
+into its place; ``REN(n, l')`` relabels.  Every operation has an exact
+inverse, and the *log* of a script ``(e_1, .., e_n)`` is the sequence of
+inverse operations ``(ē_1, .., ē_n)`` — applying the log in reverse
+order restores the original tree.
+"""
+
+from repro.edits.ops import (
+    Delete,
+    EditOperation,
+    Insert,
+    Rename,
+    is_applicable,
+)
+from repro.edits.move import Move
+from repro.edits.script import EditScript, apply_script, log_of_script
+from repro.edits.generator import EditScriptGenerator
+from repro.edits.serialize import parse_operations, format_operations
+from repro.edits.reduce import reduce_log
+from repro.edits.compound import delete_subtree_ops, insert_subtree_ops, move_subtree_ops
+from repro.edits.diff import diff_trees
+
+__all__ = [
+    "EditOperation",
+    "Insert",
+    "Delete",
+    "Rename",
+    "Move",
+    "is_applicable",
+    "EditScript",
+    "apply_script",
+    "log_of_script",
+    "EditScriptGenerator",
+    "parse_operations",
+    "format_operations",
+    "reduce_log",
+    "diff_trees",
+    "insert_subtree_ops",
+    "delete_subtree_ops",
+    "move_subtree_ops",
+]

@@ -1,0 +1,95 @@
+"""Random edit-script generation for tests and benchmarks.
+
+Generates scripts that are applicable by construction: every operation
+is drawn against the tree state produced by the previous operations,
+never touches the root, and never reuses a node id.  Operation mix,
+label vocabulary and structural bias are configurable so benchmarks can
+mimic the paper's workloads (e.g. updates concentrated in DBLP records).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.edits.ops import Delete, EditOperation, Insert, Rename
+from repro.edits.script import EditScript
+from repro.tree.tree import Tree
+
+
+class EditScriptGenerator:
+    """Draws random applicable edit scripts against a tree.
+
+    ``weights`` is the (insert, delete, rename) mix; ``labels`` the
+    vocabulary for new/renamed labels.  The generator works on a copy of
+    the tree, so generating a script does not modify the input.
+    """
+
+    def __init__(
+        self,
+        rng: Optional[random.Random] = None,
+        weights: Sequence[float] = (1.0, 1.0, 1.0),
+        labels: Sequence[str] = ("x", "y", "z", "w", "v"),
+        max_adopted_children: int = 4,
+    ) -> None:
+        if len(weights) != 3:
+            raise ValueError("weights must be (insert, delete, rename)")
+        self._rng = rng or random.Random(0)
+        self._weights = tuple(weights)
+        self._labels = list(labels)
+        self._max_adopted = max_adopted_children
+
+    def generate(self, tree: Tree, length: int) -> EditScript:
+        """A script of ``length`` applicable operations for ``tree``."""
+        working = tree.copy()
+        script = EditScript()
+        for _ in range(length):
+            operation = self._draw(working)
+            operation.apply(working)
+            script.append(operation)
+        return script
+
+    # ------------------------------------------------------------------
+
+    def _draw(self, tree: Tree) -> EditOperation:
+        kinds = ["insert", "delete", "rename"]
+        weights = list(self._weights)
+        if len(tree) <= 1:
+            # Only the root: deletions and renames are impossible.
+            weights = [1.0, 0.0, 0.0]
+        for _ in range(64):
+            kind = self._rng.choices(kinds, weights=weights)[0]
+            operation = getattr(self, f"_draw_{kind}")(tree)
+            if operation is not None:
+                return operation
+        raise RuntimeError("could not draw an applicable edit operation")
+
+    def _non_root_node(self, tree: Tree) -> Optional[int]:
+        ids = [node_id for node_id in tree.node_ids() if node_id != tree.root_id]
+        if not ids:
+            return None
+        return self._rng.choice(ids)
+
+    def _draw_insert(self, tree: Tree) -> Optional[Insert]:
+        parent = self._rng.choice(list(tree.node_ids()))
+        fanout = tree.fanout(parent)
+        k = self._rng.randint(1, fanout + 1)
+        adopt = self._rng.randint(0, min(self._max_adopted, fanout - k + 1))
+        label = self._rng.choice(self._labels)
+        return Insert(tree.fresh_id(), label, parent, k, k + adopt - 1)
+
+    def _draw_delete(self, tree: Tree) -> Optional[Delete]:
+        node_id = self._non_root_node(tree)
+        if node_id is None:
+            return None
+        return Delete(node_id)
+
+    def _draw_rename(self, tree: Tree) -> Optional[Rename]:
+        node_id = self._non_root_node(tree)
+        if node_id is None:
+            return None
+        current = tree.label(node_id)
+        candidates = [label for label in self._labels if label != current]
+        if not candidates:
+            candidates = [current + "'"]
+        return Rename(node_id, self._rng.choice(candidates))

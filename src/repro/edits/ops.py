@@ -1,0 +1,150 @@
+"""The three node edit operations and their inverses.
+
+Operations are immutable dataclasses; ``apply`` mutates a tree in place
+and ``inverse(tree)`` must be called *before* applying, because the
+inverse of a deletion needs the node's current position and fanout
+(paper Section 3.1).
+
+The paper assumes the root is never edited; ``apply`` enforces this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import EditError, RootEditError
+from repro.tree.tree import Tree
+
+
+@dataclass(frozen=True)
+class Insert:
+    """INS(n, v, k, m): insert ``node_id`` with ``label`` as the k-th
+    child of ``parent_id``; the former children k..m of the parent move
+    below the new node.  ``m == k - 1`` inserts a leaf."""
+
+    node_id: int
+    label: str
+    parent_id: int
+    k: int
+    m: int
+
+    def check(self, tree: Tree) -> None:
+        """Raise :class:`EditError` unless this INS applies to ``tree``."""
+        if self.node_id in tree:
+            raise EditError(f"INS: node id {self.node_id} already exists")
+        if self.parent_id not in tree:
+            raise EditError(f"INS: parent {self.parent_id} does not exist")
+        fanout = tree.fanout(self.parent_id)
+        if not (1 <= self.k and self.k - 1 <= self.m <= fanout):
+            raise EditError(
+                f"INS: range k={self.k}, m={self.m} invalid for "
+                f"fanout {fanout} of node {self.parent_id}"
+            )
+
+    def apply(self, tree: Tree) -> None:
+        """Mutate ``tree`` by this insertion."""
+        self.check(tree)
+        tree.insert_node(self.node_id, self.label, self.parent_id, self.k, self.m)
+
+    def inverse(self, tree: Tree) -> "Delete":
+        """The operation undoing this one (tree state is irrelevant
+        for insertions, but the signature is uniform)."""
+        return Delete(self.node_id)
+
+    def __str__(self) -> str:
+        return (
+            f"INS(({self.node_id},{self.label!r}),{self.parent_id},"
+            f"{self.k},{self.m})"
+        )
+
+
+@dataclass(frozen=True)
+class Delete:
+    """DEL(n): remove ``node_id``, splicing its children into its
+    place among its siblings."""
+
+    node_id: int
+
+    def check(self, tree: Tree) -> None:
+        """Raise :class:`EditError` unless this DEL applies to ``tree``."""
+        if self.node_id not in tree:
+            raise EditError(f"DEL: node {self.node_id} does not exist")
+        if self.node_id == tree.root_id:
+            raise RootEditError("DEL: the root must not be edited")
+
+    def apply(self, tree: Tree) -> None:
+        """Mutate ``tree`` by this deletion."""
+        self.check(tree)
+        tree.delete_node(self.node_id)
+
+    def inverse(self, tree: Tree) -> "Insert":
+        """The INS that reinserts the node; must be computed on the tree
+        *before* this deletion is applied (needs position and fanout)."""
+        self.check(tree)
+        k = tree.sibling_position(self.node_id)
+        fanout = tree.fanout(self.node_id)
+        return Insert(
+            self.node_id,
+            tree.label(self.node_id),
+            tree.parent(self.node_id),  # type: ignore[arg-type]  (root excluded)
+            k,
+            k + fanout - 1,
+        )
+
+    def __str__(self) -> str:
+        return f"DEL({self.node_id})"
+
+
+@dataclass(frozen=True)
+class Rename:
+    """REN(n, l'): change the node's label to ``label``; the paper
+    requires the new label to differ from the current one."""
+
+    node_id: int
+    label: str
+
+    def check(self, tree: Tree) -> None:
+        """Raise :class:`EditError` unless this REN applies to ``tree``."""
+        if self.node_id not in tree:
+            raise EditError(f"REN: node {self.node_id} does not exist")
+        if self.node_id == tree.root_id:
+            raise RootEditError("REN: the root must not be edited")
+        if tree.label(self.node_id) == self.label:
+            raise EditError(
+                f"REN: node {self.node_id} already has label {self.label!r}"
+            )
+
+    def apply(self, tree: Tree) -> None:
+        """Mutate ``tree`` by this renaming."""
+        self.check(tree)
+        tree.rename_node(self.node_id, self.label)
+
+    def inverse(self, tree: Tree) -> "Rename":
+        """The REN restoring the current label; compute before applying."""
+        self.check(tree)
+        return Rename(self.node_id, tree.label(self.node_id))
+
+    def __str__(self) -> str:
+        return f"REN({self.node_id},{self.label!r})"
+
+
+# The edit-operation protocol: check / apply / inverse / node_id.  The
+# paper's three node operations are listed here; the first-class
+# subtree Move extension (repro.edits.move.Move) satisfies the same
+# protocol and is accepted everywhere an EditOperation is.
+EditOperation = Union[Insert, Delete, Rename]
+
+
+def is_applicable(tree: Tree, operation: EditOperation) -> bool:
+    """Whether ``operation`` can be applied to ``tree``.
+
+    This realizes the case split of Definition 4: the delta function of
+    an operation that is not applicable (no tree ``T_i`` with
+    ``T_i = ē(T_j)`` exists) is empty.
+    """
+    try:
+        operation.check(tree)
+    except EditError:
+        return False
+    return True

@@ -1,0 +1,85 @@
+"""Edit scripts and their inverse logs.
+
+An :class:`EditScript` is an ordered sequence of edit operations.
+Applying it to a tree yields the edited tree *and* the log of inverse
+operations — exactly the input the incremental index maintenance needs
+(paper Fig. 1/5: the old index, the resulting tree, and the log).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.edits.ops import EditOperation
+from repro.tree.tree import Tree
+
+
+@dataclass
+class EditScript:
+    """An ordered sequence of edit operations ``(e_1, .., e_n)``."""
+
+    operations: List[EditOperation] = field(default_factory=list)
+
+    def append(self, operation: EditOperation) -> None:
+        """Add one operation to the end of the script."""
+        self.operations.append(operation)
+
+    def extend(self, operations: Iterable[EditOperation]) -> None:
+        """Add several operations."""
+        self.operations.extend(operations)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[EditOperation]:
+        return iter(self.operations)
+
+    def __getitem__(self, position: int) -> EditOperation:
+        return self.operations[position]
+
+    def apply(self, tree: Tree) -> List[EditOperation]:
+        """Apply the script in place and return the log.
+
+        The log is ``(ē_1, .., ē_n)`` in *script order*; applying the
+        log in reverse order (ē_n first) restores the original tree.
+        """
+        log: List[EditOperation] = []
+        for operation in self.operations:
+            log.append(operation.inverse(tree))
+            operation.apply(tree)
+        return log
+
+    def __str__(self) -> str:
+        return "; ".join(str(operation) for operation in self.operations)
+
+
+def apply_script(
+    tree: Tree, operations: Sequence[EditOperation]
+) -> Tuple[Tree, List[EditOperation]]:
+    """Apply operations to a *copy* of ``tree``.
+
+    Returns ``(edited_tree, log)``; the input tree is untouched.
+    """
+    edited = tree.copy()
+    log = EditScript(list(operations)).apply(edited)
+    return edited, log
+
+
+def log_of_script(tree: Tree, operations: Sequence[EditOperation]) -> List[EditOperation]:
+    """The inverse log of applying ``operations`` to ``tree`` (copy)."""
+    _, log = apply_script(tree, operations)
+    return log
+
+
+def undo_log(tree: Tree, log: Sequence[EditOperation]) -> Tree:
+    """Apply an inverse log (in reverse order) to a copy of ``tree``.
+
+    With ``tree = T_n`` and the log of a script that produced it, this
+    reconstructs ``T_0``.  The incremental algorithm never does this —
+    the whole point of the paper — but tests use it as an oracle.
+    """
+    restored = tree.copy()
+    for operation in reversed(list(log)):
+        operation.apply(restored)
+    return restored

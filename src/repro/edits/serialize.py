@@ -1,0 +1,170 @@
+"""Text serialization of edit operations and logs.
+
+One operation per line, mirroring the paper's notation::
+
+    INS 17 "b" 3 2 3      # node 17 labelled "b" under node 3, range 2..3
+    DEL 17
+    REN 5 "conference"
+
+Labels are double-quoted with backslash escapes, so arbitrary labels
+round-trip.  Used by the examples to persist logs next to documents.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.edits.move import Move
+from repro.edits.ops import Delete, EditOperation, Insert, Rename
+from repro.errors import ReproError
+
+
+class LogFormatError(ReproError):
+    """A serialized edit log is malformed."""
+
+
+def _quote(label: str) -> str:
+    out: List[str] = ['"']
+    for char in label:
+        if char in ('\\', '"'):
+            out.append("\\" + char)
+        elif char.isprintable() or char in (" ", "\t"):
+            out.append(char)
+        else:
+            # Control characters (including the exotic line separators
+            # str.splitlines honours) are hex-escaped so one operation
+            # always occupies exactly one line.
+            out.append(f"\\u{ord(char):06x}")
+    out.append('"')
+    return "".join(out)
+
+
+def _unquote(token: str) -> str:
+    if len(token) < 2 or token[0] != '"' or token[-1] != '"':
+        raise LogFormatError(f"label token {token!r} is not quoted")
+    body = token[1:-1]
+    out: List[str] = []
+    i = 0
+    while i < len(body):
+        char = body[i]
+        if char == "\\":
+            i += 1
+            if i >= len(body):
+                raise LogFormatError(f"dangling escape in {token!r}")
+            if body[i] == "u":
+                if i + 6 >= len(body):
+                    raise LogFormatError(f"truncated \\u escape in {token!r}")
+                out.append(chr(int(body[i + 1 : i + 7], 16)))
+                i += 6
+            else:
+                out.append(body[i])
+        else:
+            out.append(char)
+        i += 1
+    return "".join(out)
+
+
+def format_operation(operation: EditOperation) -> str:
+    """One line of log text for one operation."""
+    if isinstance(operation, Insert):
+        return (
+            f"INS {operation.node_id} {_quote(operation.label)} "
+            f"{operation.parent_id} {operation.k} {operation.m}"
+        )
+    if isinstance(operation, Delete):
+        return f"DEL {operation.node_id}"
+    if isinstance(operation, Rename):
+        return f"REN {operation.node_id} {_quote(operation.label)}"
+    if isinstance(operation, Move):
+        return f"MOV {operation.node_id} {operation.parent_id} {operation.k}"
+    raise LogFormatError(f"unknown operation type {type(operation).__name__}")
+
+
+def format_operations(operations: Sequence[EditOperation]) -> str:
+    """Serialize a whole script/log, one operation per line."""
+    return "\n".join(format_operation(operation) for operation in operations)
+
+
+def _split_line(line: str) -> List[str]:
+    """Tokenize a log line respecting quoted labels."""
+    tokens: List[str] = []
+    i = 0
+    while i < len(line):
+        char = line[i]
+        if char.isspace():
+            i += 1
+            continue
+        if char == '"':
+            j = i + 1
+            while j < len(line):
+                if line[j] == "\\":
+                    j += 2
+                    continue
+                if line[j] == '"':
+                    break
+                j += 1
+            if j >= len(line):
+                raise LogFormatError(f"unterminated quote in line {line!r}")
+            tokens.append(line[i : j + 1])
+            i = j + 1
+        else:
+            j = i
+            while j < len(line) and not line[j].isspace():
+                j += 1
+            tokens.append(line[i:j])
+            i = j
+    return tokens
+
+
+def parse_operation(line: str) -> EditOperation:
+    """Parse one log line."""
+    tokens = _split_line(line)
+    if not tokens:
+        raise LogFormatError("empty line")
+    kind = tokens[0].upper()
+    try:
+        if kind == "INS":
+            _, node_id, label, parent_id, k, m = tokens
+            return Insert(int(node_id), _unquote(label), int(parent_id), int(k), int(m))
+        if kind == "DEL":
+            _, node_id = tokens
+            return Delete(int(node_id))
+        if kind == "REN":
+            _, node_id, label = tokens
+            return Rename(int(node_id), _unquote(label))
+        if kind == "MOV":
+            _, node_id, parent_id, k = tokens
+            return Move(int(node_id), int(parent_id), int(k))
+    except ValueError as exc:
+        raise LogFormatError(f"bad line {line!r}: {exc}") from exc
+    raise LogFormatError(f"unknown operation {kind!r} in line {line!r}")
+
+
+def parse_operations(text: str) -> List[EditOperation]:
+    """Parse a multi-line log; blank lines and ``#`` comments are skipped."""
+    operations: List[EditOperation] = []
+    # Split on newline only — quoted labels never contain raw control
+    # characters (the writer hex-escapes them), so '\n' is the sole
+    # line separator.
+    for raw_line in text.split("\n"):
+        line = _strip_comment(raw_line).strip()
+        if line:
+            operations.append(parse_operation(line))
+    return operations
+
+
+def _strip_comment(line: str) -> str:
+    """Drop a trailing ``#`` comment, ignoring ``#`` inside quotes."""
+    in_quote = False
+    i = 0
+    while i < len(line):
+        char = line[i]
+        if char == "\\" and in_quote:
+            i += 2
+            continue
+        if char == '"':
+            in_quote = not in_quote
+        elif char == "#" and not in_quote:
+            return line[:i]
+        i += 1
+    return line

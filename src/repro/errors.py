@@ -1,0 +1,76 @@
+"""Exception hierarchy shared by every repro subpackage.
+
+Keeping all exception types in one module lets callers catch the broad
+:class:`ReproError` while the individual subsystems raise precise
+subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class TreeError(ReproError):
+    """Structural problem with a tree (unknown node, bad position, ...)."""
+
+
+class UnknownNodeError(TreeError):
+    """A node id was referenced that does not exist in the tree."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(f"node id {node_id!r} does not exist in this tree")
+        self.node_id = node_id
+
+
+class DuplicateNodeError(TreeError):
+    """A node id was inserted that already exists in the tree."""
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(f"node id {node_id!r} already exists in this tree")
+        self.node_id = node_id
+
+
+class InvalidPositionError(TreeError):
+    """A child position or child range is out of bounds."""
+
+
+class EditError(ReproError):
+    """An edit operation cannot be applied to the given tree."""
+
+
+class RootEditError(EditError):
+    """The paper assumes the root node is never edited (Section 3.1)."""
+
+
+class InvalidLogError(ReproError):
+    """An edit log is inconsistent with the tree or the stored deltas."""
+
+
+class StorageError(ReproError):
+    """Base class for errors raised by the embedded relational store."""
+
+
+class SchemaError(StorageError):
+    """A row or query does not match the table schema."""
+
+
+class DuplicateKeyError(StorageError):
+    """A primary-key value was inserted twice."""
+
+
+class CodecError(StorageError):
+    """The binary codec met malformed input."""
+
+
+class XmlError(ReproError):
+    """The XML tokenizer or parser met malformed input."""
+
+
+class GramConfigError(ReproError):
+    """Invalid pq-gram parameters (p and q must both be positive)."""
+
+
+class IndexConsistencyError(ReproError):
+    """An index update would drive a pq-gram count below zero."""

@@ -1,0 +1,17 @@
+"""Label fingerprinting.
+
+The pq-gram index does not store label strings; it stores fixed-width
+fingerprints produced by a Karp–Rabin hash (paper Section 3.2, Fig. 4).
+The only operation the index ever performs on labels is an equality
+check, so a fingerprint that is unique with high probability suffices.
+"""
+
+from repro.hashing.fingerprint import KarpRabinFingerprint, combine_fingerprints
+from repro.hashing.labelhash import NULL_HASH, LabelHasher
+
+__all__ = [
+    "KarpRabinFingerprint",
+    "combine_fingerprints",
+    "LabelHasher",
+    "NULL_HASH",
+]

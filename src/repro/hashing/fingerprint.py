@@ -1,0 +1,72 @@
+"""Karp–Rabin fingerprints over byte strings.
+
+The fingerprint of a byte string ``b_1 .. b_n`` is the polynomial
+``sum(b_i * base**(n - i)) mod prime`` for a fixed base and a large
+prime.  Distinct strings collide with probability about ``1/prime``
+(Karp & Rabin 1987), which is exactly the "unique with a high
+probability" guarantee the paper relies on.
+
+Fingerprints support O(1) *concatenation*: knowing ``f(x)``, ``f(y)``
+and ``base**len(y)``, the fingerprint of ``x || y`` is
+``f(x) * base**len(y) + f(y)``.  The index uses this to fingerprint a
+whole pq-gram label tuple from the per-label fingerprints.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+#: A Mersenne prime just below 2**61; arithmetic stays within native
+#: integers on 64-bit CPython for single multiplications.
+DEFAULT_PRIME = (1 << 61) - 1
+DEFAULT_BASE = 257
+
+
+class KarpRabinFingerprint:
+    """Stateless fingerprint function, configurable base and modulus."""
+
+    def __init__(self, base: int = DEFAULT_BASE, prime: int = DEFAULT_PRIME) -> None:
+        if prime <= base or base < 2:
+            raise ValueError("need prime > base >= 2")
+        self.base = base
+        self.prime = prime
+
+    def of_bytes(self, data: bytes) -> int:
+        """Fingerprint of a byte string."""
+        value = 0
+        base, prime = self.base, self.prime
+        for byte in data:
+            value = (value * base + byte + 1) % prime
+        return value
+
+    def of_text(self, text: str) -> int:
+        """Fingerprint of a unicode string (UTF-8 encoded)."""
+        return self.of_bytes(text.encode("utf-8"))
+
+    def shift(self, length: int) -> int:
+        """``base**length mod prime`` — the concatenation multiplier."""
+        return pow(self.base, length, self.prime)
+
+    def concat(self, left: int, right: int, right_length: int) -> int:
+        """Fingerprint of the concatenation ``x || y`` from ``f(x)``,
+        ``f(y)`` and ``len(y)``."""
+        return (left * self.shift(right_length) + right) % self.prime
+
+
+def combine_fingerprints(
+    parts: Sequence[int] | Iterable[int],
+    base: int = DEFAULT_BASE,
+    prime: int = DEFAULT_PRIME,
+) -> int:
+    """Fold a sequence of fingerprints into one.
+
+    Treats every part as one "digit" in base ``base``-to-the-word; this
+    is how a pq-gram's label tuple is compressed to a single value for
+    the persistent index relation (paper Fig. 4 concatenates the hashed
+    labels — we combine them with the same collision guarantee).
+    """
+    value = 0
+    multiplier = pow(base, 8, prime)
+    for part in parts:
+        value = (value * multiplier + part + 1) % prime
+    return value

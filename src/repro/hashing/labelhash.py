@@ -1,0 +1,72 @@
+"""Fixed-width label hashing for the pq-gram index.
+
+Maps every label to a non-zero fingerprint; the value ``0`` is reserved
+for the null node ``*`` so that padded positions are recognizable in any
+stored p-part or q-part (the paper's Fig. 4 likewise pins ``h(*) = 0``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.hashing.fingerprint import KarpRabinFingerprint
+from repro.tree.node import NULL_LABEL
+
+#: Hash value reserved for the null node.
+NULL_HASH = 0
+
+
+class LabelHasher:
+    """Memoizing label → fingerprint mapper.
+
+    The memo makes repeated hashing of the (few, highly repetitive) XML
+    element names O(1); an optional reverse map supports debugging and
+    human-readable index dumps.
+    """
+
+    def __init__(
+        self,
+        fingerprint: Optional[KarpRabinFingerprint] = None,
+        keep_reverse_map: bool = False,
+    ) -> None:
+        self._fingerprint = fingerprint or KarpRabinFingerprint()
+        self._memo: Dict[str, int] = {}
+        self._reverse: Optional[Dict[int, str]] = {} if keep_reverse_map else None
+
+    @property
+    def fingerprint(self) -> KarpRabinFingerprint:
+        """The underlying fingerprint function."""
+        return self._fingerprint
+
+    def hash_label(self, label: str) -> int:
+        """Fingerprint of a real label; never returns :data:`NULL_HASH`."""
+        cached = self._memo.get(label)
+        if cached is not None:
+            return cached
+        value = self._fingerprint.of_text(label)
+        if value == NULL_HASH:
+            # Remap the (astronomically unlikely) zero fingerprint so the
+            # null sentinel stays unambiguous.
+            value = 1
+        self._memo[label] = value
+        if self._reverse is not None:
+            self._reverse[value] = label
+        return value
+
+    def hash_optional(self, label: Optional[str]) -> int:
+        """Hash a label, treating ``None`` and ``*``-as-null as the null
+        node (used when padding p-parts and q-parts)."""
+        if label is None:
+            return NULL_HASH
+        return self.hash_label(label)
+
+    def lookup(self, value: int) -> Optional[str]:
+        """Reverse lookup (only if ``keep_reverse_map`` was requested)."""
+        if value == NULL_HASH:
+            return NULL_LABEL
+        if self._reverse is None:
+            return None
+        return self._reverse.get(value)
+
+    def __len__(self) -> int:
+        return len(self._memo)

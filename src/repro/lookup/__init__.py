@@ -1,0 +1,28 @@
+"""Approximate lookups in forests of trees.
+
+An approximate lookup of a search tree X in a forest F returns all
+trees of F within pq-gram distance τ of X (Section 3.2).  The package
+provides the persistent forest index — the relation
+``(treeId, pqg, cnt)`` of paper Fig. 4 — and a lookup service that
+answers queries either against the precomputed index or by building
+indexes on the fly (the two arms of the Fig. 13 lookup experiment).
+"""
+
+from repro.lookup.forest import ForestIndex
+from repro.lookup.service import LookupResult, LookupService
+from repro.lookup.join import (
+    JoinStats,
+    self_join,
+    similarity_join,
+    similarity_join_allpairs,
+)
+
+__all__ = [
+    "ForestIndex",
+    "LookupService",
+    "LookupResult",
+    "similarity_join",
+    "similarity_join_allpairs",
+    "self_join",
+    "JoinStats",
+]

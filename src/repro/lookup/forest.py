@@ -1,0 +1,188 @@
+"""The persistent forest index.
+
+Stores the pq-gram indexes of a whole collection of trees in one
+relation ``(treeId, pqg, cnt)`` (paper Fig. 4b), backed by the embedded
+relational store so it survives process restarts, plus an in-memory
+inverted list ``pqg → [(treeId, cnt)]`` that lets a lookup intersect
+the query's bag with every candidate in one pass over the query's
+distinct pq-grams.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.config import GramConfig
+from repro.core.index import Bag, PQGramIndex
+from repro.core.maintain import update_index_replay
+from repro.edits.ops import EditOperation
+from repro.errors import StorageError
+from repro.hashing.labelhash import LabelHasher
+from repro.relstore.database import Database
+from repro.relstore.schema import Column, Schema
+from repro.tree.tree import Tree
+
+Key = Tuple[int, ...]
+
+
+class ForestIndex:
+    """pq-gram indexes of a forest, with persistence and maintenance."""
+
+    def __init__(self, config: Optional[GramConfig] = None) -> None:
+        self.config = config or GramConfig()
+        self.hasher = LabelHasher()
+        self._indexes: Dict[int, PQGramIndex] = {}
+        self._inverted: Dict[Key, Dict[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # building and maintaining
+    # ------------------------------------------------------------------
+
+    def add_tree(self, tree_id: int, tree: Tree) -> None:
+        """Index a new tree of the forest."""
+        if tree_id in self._indexes:
+            raise StorageError(f"tree id {tree_id} is already indexed")
+        index = PQGramIndex.from_tree(tree, self.config, self.hasher)
+        self._indexes[tree_id] = index
+        self._invert(tree_id, index)
+
+    def remove_tree(self, tree_id: int) -> None:
+        """Drop a tree from the forest index."""
+        index = self._indexes.pop(tree_id, None)
+        if index is None:
+            return
+        for key, _ in index.items():
+            postings = self._inverted.get(key)
+            if postings is not None:
+                postings.pop(tree_id, None)
+                if not postings:
+                    del self._inverted[key]
+
+    def update_tree(
+        self, tree_id: int, tree: Tree, log: List[EditOperation]
+    ) -> None:
+        """Incrementally maintain one tree's index after edits.
+
+        ``tree`` is the resulting document and ``log`` the inverse
+        operations — the exact inputs of the paper's scenario (Fig. 1).
+        """
+        old_index = self.index_of(tree_id)
+        # Un-invert the old bag, update, re-invert.
+        for key, _ in old_index.items():
+            postings = self._inverted.get(key)
+            if postings is not None:
+                postings.pop(tree_id, None)
+                if not postings:
+                    del self._inverted[key]
+        new_index = update_index_replay(old_index, tree, log, self.hasher)
+        self._indexes[tree_id] = new_index
+        self._invert(tree_id, new_index)
+
+    def _invert(self, tree_id: int, index: PQGramIndex) -> None:
+        for key, count in index.items():
+            self._inverted.setdefault(key, {})[tree_id] = count
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+
+    def index_of(self, tree_id: int) -> PQGramIndex:
+        """The stored index of one tree."""
+        try:
+            return self._indexes[tree_id]
+        except KeyError:
+            raise StorageError(f"tree id {tree_id} is not indexed") from None
+
+    def tree_ids(self) -> Iterator[int]:
+        """All indexed tree ids."""
+        return iter(self._indexes)
+
+    def __len__(self) -> int:
+        return len(self._indexes)
+
+    def __contains__(self, tree_id: int) -> bool:
+        return tree_id in self._indexes
+
+    # ------------------------------------------------------------------
+    # distance against the whole forest
+    # ------------------------------------------------------------------
+
+    def distances(self, query: PQGramIndex) -> Dict[int, float]:
+        """pq-gram distance of the query index to every indexed tree.
+
+        One pass over the query's distinct pq-grams accumulates the bag
+        intersections via the inverted lists; trees sharing no pq-gram
+        fall back to the no-overlap distance.
+        """
+        intersections: Dict[int, int] = {}
+        for key, query_count in query.items():
+            postings = self._inverted.get(key)
+            if not postings:
+                continue
+            for tree_id, count in postings.items():
+                intersections[tree_id] = intersections.get(tree_id, 0) + min(
+                    query_count, count
+                )
+        query_size = query.size()
+        result: Dict[int, float] = {}
+        for tree_id, index in self._indexes.items():
+            union = query_size + index.size()
+            shared = intersections.get(tree_id, 0)
+            result[tree_id] = 1.0 - 2.0 * shared / union if union else 0.0
+        return result
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+
+    _SCHEMA = Schema(
+        [
+            Column("treeId", int),
+            Column("pqg", tuple),
+            Column("cnt", int),
+        ]
+    )
+
+    def save(self, path: str) -> None:
+        """Persist the forest index relation (treeId, pqg, cnt)."""
+        database = Database()
+        meta = database.create_table(
+            "meta",
+            Schema([Column("key", str), Column("value", int)]),
+            primary_key=("key",),
+        )
+        meta.insert({"key": "p", "value": self.config.p})
+        meta.insert({"key": "q", "value": self.config.q})
+        table = database.create_table(
+            "forest", self._SCHEMA, primary_key=("treeId", "pqg")
+        )
+        for tree_id, index in self._indexes.items():
+            for key, count in index.items():
+                table.insert({"treeId": tree_id, "pqg": key, "cnt": count})
+        database.save(path)
+
+    @classmethod
+    def load(cls, path: str) -> "ForestIndex":
+        """Load a forest index persisted with :meth:`save`."""
+        if not os.path.exists(path):
+            raise StorageError(f"no snapshot at {path}")
+        database = Database.load(path)
+        meta = {
+            row["key"]: row["value"] for row in database.table("meta").scan_dicts()
+        }
+        forest = cls(GramConfig(meta["p"], meta["q"]))
+        bags: Dict[int, Bag] = {}
+        for row in database.table("forest").scan_dicts():
+            bags.setdefault(row["treeId"], {})[row["pqg"]] = row["cnt"]
+        for tree_id, bag in bags.items():
+            index = PQGramIndex(forest.config, bag)
+            forest._indexes[tree_id] = index
+            forest._invert(tree_id, index)
+        return forest
+
+    def serialized_size_bytes(self) -> int:
+        """Approximate on-disk footprint of the index relation."""
+        return sum(
+            index.serialized_size_bytes() for index in self._indexes.values()
+        )

@@ -1,0 +1,132 @@
+"""Approximate similarity joins between forests.
+
+The approximate XML join of the related work (Guha et al.): given two
+collections, return all pairs within pq-gram distance τ.
+
+Strategy: a single sweep over the inverted lists accumulates the bag
+intersection of every co-occurring pair — ``Σ_key min(cnt_l, cnt_r)``
+— so each pair's distance falls out with O(1) arithmetic and *pairs
+sharing no pq-gram are never materialized at all*.  A size filter
+(from ``dist < τ`` follows ``min(|I|,|I'|) ≥ (1-τ)/2 · (|I|+|I'|)``)
+discards hopeless candidates before the final arithmetic.
+
+Complexity: ``Σ_key |postings_left(key)| · |postings_right(key)|`` —
+excellent for heterogeneous collections where most pairs share
+nothing, but *worse* than the naive all-pairs loop for homogeneous
+collections whose schema pq-grams co-occur everywhere (ablation A4
+quantifies both regimes).  ``similarity_join`` picks the inverted
+strategy; ``similarity_join_allpairs`` is the dense fallback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.distance import index_distance
+from repro.errors import GramConfigError
+from repro.lookup.forest import ForestIndex
+
+
+@dataclass
+class JoinStats:
+    """Work counters of one similarity join (for the pruning bench)."""
+
+    total_pairs: int = 0          # |A| x |B| (or n(n-1)/2 for self-join)
+    candidate_pairs: int = 0      # pairs sharing >= 1 pq-gram
+    size_filtered: int = 0        # candidates discarded by the size filter
+    results: int = 0              # pairs within tau
+
+
+def _check(left: ForestIndex, right: ForestIndex, tau: float) -> None:
+    if left.config != right.config:
+        raise GramConfigError(
+            f"cannot join a {left.config} forest with a {right.config} forest"
+        )
+    if not 0.0 < tau <= 1.0:
+        raise ValueError("tau must be in (0, 1]")
+
+
+def similarity_join(
+    left: ForestIndex,
+    right: ForestIndex,
+    tau: float,
+) -> Tuple[List[Tuple[int, int, float]], JoinStats]:
+    """All (left id, right id, distance) with distance < τ, sweeping
+    the inverted lists.  Passing the same object twice performs a
+    self-join over unordered distinct pairs."""
+    _check(left, right, tau)
+    self_mode = left is right
+    stats = JoinStats()
+    left_count, right_count = len(left), len(right)
+    stats.total_pairs = (
+        left_count * (left_count - 1) // 2 if self_mode else left_count * right_count
+    )
+
+    intersections: Dict[Tuple[int, int], int] = {}
+    for key, left_postings in left._inverted.items():
+        right_postings = right._inverted.get(key)
+        if not right_postings:
+            continue
+        for left_id, left_cnt in left_postings.items():
+            for right_id, right_cnt in right_postings.items():
+                if self_mode and left_id >= right_id:
+                    continue
+                pair = (left_id, right_id)
+                intersections[pair] = intersections.get(pair, 0) + min(
+                    left_cnt, right_cnt
+                )
+    stats.candidate_pairs = len(intersections)
+
+    sizes_left: Dict[int, int] = {}
+    sizes_right: Dict[int, int] = {}
+    lower_bound_factor = (1.0 - tau) / 2.0
+    results: List[Tuple[int, int, float]] = []
+    for (left_id, right_id), shared in intersections.items():
+        left_size = sizes_left.setdefault(left_id, left.index_of(left_id).size())
+        right_size = sizes_right.setdefault(
+            right_id, right.index_of(right_id).size()
+        )
+        union = left_size + right_size
+        if shared <= lower_bound_factor * union:
+            stats.size_filtered += 1
+            continue
+        distance = 1.0 - 2.0 * shared / union if union else 0.0
+        if distance < tau:
+            results.append((left_id, right_id, distance))
+    stats.results = len(results)
+    results.sort(key=lambda row: row[2])
+    return results, stats
+
+
+def similarity_join_allpairs(
+    left: ForestIndex,
+    right: ForestIndex,
+    tau: float,
+) -> Tuple[List[Tuple[int, int, float]], JoinStats]:
+    """The dense strategy: exact distance for every pair.  Preferable
+    for homogeneous collections with near-total pq-gram co-occurrence."""
+    _check(left, right, tau)
+    self_mode = left is right
+    stats = JoinStats()
+    results: List[Tuple[int, int, float]] = []
+    left_ids = sorted(left.tree_ids())
+    right_ids = sorted(right.tree_ids())
+    for left_id in left_ids:
+        left_index = left.index_of(left_id)
+        for right_id in right_ids:
+            if self_mode and left_id >= right_id:
+                continue
+            stats.total_pairs += 1
+            stats.candidate_pairs += 1
+            distance = index_distance(left_index, right.index_of(right_id))
+            if distance < tau:
+                results.append((left_id, right_id, distance))
+    stats.results = len(results)
+    results.sort(key=lambda row: row[2])
+    return results, stats
+
+
+def self_join(forest: ForestIndex, tau: float):
+    """Convenience wrapper: all near-duplicate pairs within a forest."""
+    return similarity_join(forest, forest, tau)

@@ -1,0 +1,120 @@
+"""The approximate lookup service.
+
+Answers "all trees of the forest within distance τ of the query" in
+two modes, mirroring the two arms of the Fig. 13 (left) experiment:
+
+- ``lookup`` — against the precomputed :class:`ForestIndex`; the query
+  tree is indexed once and intersected with every stored index via the
+  inverted lists.  Cost is independent of the number of trees beyond
+  the final per-tree distance arithmetic.
+- ``lookup_without_index`` — the baseline: every collection tree's
+  index is built on the fly before the distances can be computed, so
+  cost grows with the total collection size (this construction is
+  "clearly the most expensive operation in the lookup process").
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.config import GramConfig
+from repro.core.distance import index_distance
+from repro.core.index import PQGramIndex
+from repro.hashing.labelhash import LabelHasher
+from repro.lookup.forest import ForestIndex
+from repro.tree.tree import Tree
+
+
+@dataclass
+class LookupResult:
+    """Matches of one approximate lookup plus timing detail."""
+
+    matches: List[Tuple[int, float]]           # (tree id, distance), ascending
+    seconds_total: float = 0.0
+    seconds_index_construction: float = 0.0    # on-the-fly arm only
+    trees_compared: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    def tree_ids(self) -> List[int]:
+        """Matched tree ids, nearest first."""
+        return [tree_id for tree_id, _ in self.matches]
+
+
+class LookupService:
+    """Approximate lookups with or without a precomputed index."""
+
+    def __init__(self, forest: ForestIndex) -> None:
+        self.forest = forest
+
+    def lookup(self, query: Tree, tau: float) -> LookupResult:
+        """All forest trees within pq-gram distance ``tau`` of the
+        query, using the precomputed index."""
+        started = time.perf_counter()
+        query_index = PQGramIndex.from_tree(
+            query, self.forest.config, self.forest.hasher
+        )
+        distances = self.forest.distances(query_index)
+        matches = sorted(
+            ((tree_id, distance) for tree_id, distance in distances.items()
+             if distance < tau),
+            key=lambda pair: pair[1],
+        )
+        return LookupResult(
+            matches=matches,
+            seconds_total=time.perf_counter() - started,
+            trees_compared=len(distances),
+        )
+
+    def nearest(self, query: Tree, k: int = 1) -> LookupResult:
+        """The k nearest trees to the query, regardless of threshold.
+
+        Useful for best-match retrieval (e.g. deduplication pipelines
+        that always want a candidate to inspect).
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        started = time.perf_counter()
+        query_index = PQGramIndex.from_tree(
+            query, self.forest.config, self.forest.hasher
+        )
+        distances = self.forest.distances(query_index)
+        matches = sorted(distances.items(), key=lambda pair: pair[1])[:k]
+        return LookupResult(
+            matches=matches,
+            seconds_total=time.perf_counter() - started,
+            trees_compared=len(distances),
+        )
+
+    def lookup_without_index(
+        self,
+        query: Tree,
+        collection: List[Tuple[int, Tree]],
+        tau: float,
+        config: Optional[GramConfig] = None,
+    ) -> LookupResult:
+        """The no-precomputed-index baseline: build every index on the
+        fly, then compare."""
+        config = config or self.forest.config
+        hasher = LabelHasher()
+        started = time.perf_counter()
+        construction_started = started
+        query_index = PQGramIndex.from_tree(query, config, hasher)
+        built = [
+            (tree_id, PQGramIndex.from_tree(tree, config, hasher))
+            for tree_id, tree in collection
+        ]
+        construction_seconds = time.perf_counter() - construction_started
+        matches = []
+        for tree_id, index in built:
+            distance = index_distance(query_index, index)
+            if distance < tau:
+                matches.append((tree_id, distance))
+        matches.sort(key=lambda pair: pair[1])
+        return LookupResult(
+            matches=matches,
+            seconds_total=time.perf_counter() - started,
+            seconds_index_construction=construction_seconds,
+            trees_compared=len(built),
+        )

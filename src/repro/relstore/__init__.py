@@ -1,0 +1,38 @@
+"""A small embedded relational store.
+
+The paper stores the pq-gram index and the temporary delta tables in an
+RDBMS and expresses its maintenance algorithms as relational selections
+and updates (Sections 8.1–8.4).  This package is the corresponding
+substrate: schema'd tables with hash and sorted secondary indexes,
+composite primary keys, and durable snapshots written with a compact
+binary codec.
+
+It is deliberately *not* a SQL engine — the algorithms only need exact
+selections, range selections, point updates and scans, so that is the
+whole query surface.
+"""
+
+from repro.relstore.schema import Column, Schema
+from repro.relstore.table import Table
+from repro.relstore.index import HashIndex, SortedIndex
+from repro.relstore.database import Database
+from repro.relstore.codec import decode_value, encode_value
+from repro.relstore.query import And, Eq, Range, group_count, join, project, select
+
+__all__ = [
+    "Column",
+    "Schema",
+    "Table",
+    "HashIndex",
+    "SortedIndex",
+    "Database",
+    "encode_value",
+    "decode_value",
+    "Eq",
+    "Range",
+    "And",
+    "select",
+    "join",
+    "project",
+    "group_count",
+]

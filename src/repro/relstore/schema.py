@@ -1,0 +1,110 @@
+"""Table schemas: named, typed columns.
+
+The store supports the value types the pq-gram machinery needs:
+integers (ids, counts, fingerprints), strings (labels, names), floats
+(measurements), bytes, ``None`` (nullable columns) and flat tuples of
+integers (stored p-parts and q-parts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Sequence, Tuple, Type
+
+from repro.errors import SchemaError
+
+#: Python types a column may declare.
+SUPPORTED_TYPES: Tuple[Type, ...] = (int, str, float, bytes, tuple)
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: a name, a declared type, and nullability."""
+
+    name: str
+    type: Type
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if self.type not in SUPPORTED_TYPES:
+            raise SchemaError(
+                f"column {self.name!r}: unsupported type {self.type!r}"
+            )
+
+    def check(self, value: Any) -> None:
+        """Raise :class:`SchemaError` unless ``value`` fits the column."""
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is not nullable")
+            return
+        # bool is an int subclass but almost always a bug in this domain.
+        if isinstance(value, bool) or not isinstance(value, self.type):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.type.__name__}, "
+                f"got {type(value).__name__} ({value!r})"
+            )
+        if self.type is tuple and not all(isinstance(x, int) for x in value):
+            raise SchemaError(
+                f"column {self.name!r}: tuple values must contain only ints"
+            )
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of columns."""
+
+    columns: Tuple[Column, ...]
+    _offsets: Dict[str, int] = field(
+        default=None, compare=False, repr=False  # type: ignore[assignment]
+    )
+
+    def __init__(self, columns: Sequence[Column]) -> None:
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {names}")
+        object.__setattr__(self, "columns", tuple(columns))
+        object.__setattr__(
+            self, "_offsets", {column.name: i for i, column in enumerate(columns)}
+        )
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Column names in declaration order."""
+        return tuple(column.name for column in self.columns)
+
+    def offset(self, name: str) -> int:
+        """Position of a column within a row tuple."""
+        try:
+            return self._offsets[name]
+        except KeyError:
+            raise SchemaError(f"no column named {name!r}") from None
+
+    def offsets(self, names: Sequence[str]) -> Tuple[int, ...]:
+        """Positions of several columns."""
+        return tuple(self.offset(name) for name in names)
+
+    def check_row(self, row: Tuple[Any, ...]) -> None:
+        """Validate width and per-column types of a row tuple."""
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"row width {len(row)} does not match schema width "
+                f"{len(self.columns)}"
+            )
+        for column, value in zip(self.columns, row):
+            column.check(value)
+
+    def row_from_dict(self, values: Dict[str, Any]) -> Tuple[Any, ...]:
+        """Build a row tuple from a column-name → value mapping."""
+        extra = set(values) - set(self.names)
+        if extra:
+            raise SchemaError(f"unknown columns: {sorted(extra)}")
+        row = tuple(values.get(name) for name in self.names)
+        self.check_row(row)
+        return row
+
+    def row_to_dict(self, row: Tuple[Any, ...]) -> Dict[str, Any]:
+        """Inverse of :meth:`row_from_dict`."""
+        return dict(zip(self.names, row))

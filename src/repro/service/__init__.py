@@ -1,0 +1,18 @@
+"""The document store: durable documents + durable pq-gram indexes.
+
+This is the production face of the library — the "persistent and
+incrementally maintainable index" of the paper's title as a running
+service:
+
+- documents and their indexes live in relstore snapshots on disk,
+- every edit batch is appended to a write-ahead log *before* being
+  applied, so a crash between append and checkpoint loses nothing:
+  recovery replays the tail of the WAL over the last snapshot, using
+  the same incremental maintenance as the live path,
+- lookups run against the in-memory forest index, which is rebuilt
+  from the snapshot + WAL on open.
+"""
+
+from repro.service.store import DocumentStore
+
+__all__ = ["DocumentStore"]

@@ -1,0 +1,317 @@
+"""The durable document store.
+
+On-disk layout inside the store directory::
+
+    store.db     relstore snapshot: documents (bracket text), indexes
+                 (treeId, pqg, cnt), meta (p, q, per-document WAL
+                 positions already folded into the snapshot)
+    wal.log      append-only text file of committed edit batches:
+                 one BEGIN/ops/COMMIT block per batch
+
+Commit protocol for ``apply_edits``:
+
+1. append the batch (document id + serialized operations) to the WAL
+   and fsync — the batch is now durable,
+2. apply the operations to the in-memory document,
+3. incrementally maintain the in-memory index (replay engine),
+4. opportunistically checkpoint (write a fresh snapshot and truncate
+   the WAL) every ``checkpoint_every`` batches.
+
+``open`` recovers by loading the snapshot and replaying any WAL
+batches that were appended after it; half-written trailing batches
+(no COMMIT line — the crash window) are ignored.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.config import GramConfig
+from repro.core.index import PQGramIndex
+from repro.core.maintain import update_index_replay
+from repro.edits.ops import EditOperation
+from repro.edits.script import EditScript
+from repro.edits.serialize import format_operations, parse_operations
+from repro.errors import StorageError
+from repro.hashing.labelhash import LabelHasher
+from repro.lookup.forest import ForestIndex
+from repro.lookup.service import LookupResult, LookupService
+from repro.relstore.database import Database
+from repro.relstore.schema import Column, Schema
+from repro.tree.traversal import preorder
+from repro.tree.tree import Tree
+
+_SNAPSHOT = "store.db"
+_WAL = "wal.log"
+
+
+class DocumentStore:
+    """A collection of documents with durable pq-gram indexes."""
+
+    def __init__(
+        self,
+        directory: str,
+        config: Optional[GramConfig] = None,
+        checkpoint_every: int = 16,
+    ) -> None:
+        self._directory = directory
+        self._checkpoint_every = checkpoint_every
+        self._documents: Dict[int, Tree] = {}
+        self._forest = ForestIndex(config or GramConfig())
+        self._batches_since_checkpoint = 0
+        os.makedirs(directory, exist_ok=True)
+        if os.path.exists(self._snapshot_path()):
+            self._recover()
+        else:
+            self._checkpoint()
+
+    # ------------------------------------------------------------------
+    # paths
+    # ------------------------------------------------------------------
+
+    def _snapshot_path(self) -> str:
+        return os.path.join(self._directory, _SNAPSHOT)
+
+    def _wal_path(self) -> str:
+        return os.path.join(self._directory, _WAL)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> GramConfig:
+        """The store's pq-gram configuration."""
+        return self._forest.config
+
+    def document_ids(self) -> Iterator[int]:
+        """Ids of all stored documents."""
+        return iter(sorted(self._documents))
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, document_id: int) -> bool:
+        return document_id in self._documents
+
+    def get_document(self, document_id: int) -> Tree:
+        """A copy of one stored document."""
+        return self._require(document_id).copy()
+
+    def get_index(self, document_id: int) -> PQGramIndex:
+        """The maintained index of one document."""
+        self._require(document_id)
+        return self._forest.index_of(document_id)
+
+    def add_document(self, document_id: int, tree: Tree) -> None:
+        """Store and index a new document (checkpointed immediately)."""
+        if document_id in self._documents:
+            raise StorageError(f"document id {document_id} already exists")
+        self._documents[document_id] = tree.copy()
+        self._forest.add_tree(document_id, tree)
+        self._checkpoint()
+
+    def remove_document(self, document_id: int) -> None:
+        """Drop a document and its index (checkpointed immediately)."""
+        self._require(document_id)
+        del self._documents[document_id]
+        self._forest.remove_tree(document_id)
+        self._checkpoint()
+
+    def apply_edits(
+        self, document_id: int, operations: Sequence[EditOperation]
+    ) -> None:
+        """Durably apply an edit batch and maintain the index.
+
+        The batch reaches the WAL (fsync'd) before any state changes;
+        a crash at any later point is recovered by replay.
+        """
+        document = self._require(document_id)
+        # Validate against a copy first: either the whole batch applies
+        # or nothing is logged.
+        probe = document.copy()
+        EditScript(list(operations)).apply(probe)
+
+        self._append_wal(document_id, operations)
+        log = EditScript(list(operations)).apply(document)
+        old_index = self._forest.index_of(document_id)
+        new_index = update_index_replay(
+            old_index, document, log, self._forest.hasher
+        )
+        self._swap_index(document_id, new_index)
+
+        self._batches_since_checkpoint += 1
+        if self._batches_since_checkpoint >= self._checkpoint_every:
+            self._checkpoint()
+
+    def lookup(self, query: Tree, tau: float) -> LookupResult:
+        """Approximate lookup over all stored documents."""
+        return LookupService(self._forest).lookup(query, tau)
+
+    def checkpoint(self) -> None:
+        """Force a snapshot + WAL truncation."""
+        self._checkpoint()
+
+    # ------------------------------------------------------------------
+    # index plumbing
+    # ------------------------------------------------------------------
+
+    def _require(self, document_id: int) -> Tree:
+        try:
+            return self._documents[document_id]
+        except KeyError:
+            raise StorageError(f"no document with id {document_id}") from None
+
+    def _swap_index(self, document_id: int, new_index: PQGramIndex) -> None:
+        self._forest.remove_tree(document_id)
+        self._forest._indexes[document_id] = new_index
+        self._forest._invert(document_id, new_index)
+
+    # ------------------------------------------------------------------
+    # WAL
+    # ------------------------------------------------------------------
+
+    def _append_wal(
+        self, document_id: int, operations: Sequence[EditOperation]
+    ) -> None:
+        block = (
+            f"BEGIN {document_id} {len(operations)}\n"
+            + format_operations(operations)
+            + ("\n" if operations else "")
+            + "COMMIT\n"
+        )
+        with open(self._wal_path(), "a", encoding="utf-8") as handle:
+            handle.write(block)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _read_wal(self) -> List[Tuple[int, List[EditOperation]]]:
+        """Committed batches of the WAL; a torn trailing batch is
+        silently dropped (it never acknowledged)."""
+        path = self._wal_path()
+        if not os.path.exists(path):
+            return []
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().split("\n")
+        batches: List[Tuple[int, List[EditOperation]]] = []
+        position = 0
+        while position < len(lines):
+            line = lines[position].strip()
+            if not line:
+                position += 1
+                continue
+            if not line.startswith("BEGIN "):
+                break  # torn or corrupt tail
+            try:
+                _, document_id_text, count_text = line.split()
+                count = int(count_text)
+                body = lines[position + 1 : position + 1 + count]
+                commit_line = lines[position + 1 + count].strip()
+            except (ValueError, IndexError):
+                break
+            if commit_line != "COMMIT":
+                break
+            try:
+                operations = parse_operations("\n".join(body))
+            except Exception:
+                break
+            if len(operations) != count:
+                break
+            batches.append((int(document_id_text), operations))
+            position += count + 2
+        return batches
+
+    # ------------------------------------------------------------------
+    # snapshot + recovery
+    # ------------------------------------------------------------------
+
+    # Documents are stored node by node (preorder) so that node ids —
+    # which WAL operations and client edits reference — survive the
+    # round trip exactly.
+    _NODE_SCHEMA = Schema(
+        [
+            Column("docId", int),
+            Column("seq", int),          # preorder position
+            Column("nodeId", int),
+            Column("parId", int, nullable=True),
+            Column("label", str),
+        ]
+    )
+    _IDX_SCHEMA = Schema(
+        [Column("treeId", int), Column("pqg", tuple), Column("cnt", int)]
+    )
+    _META_SCHEMA = Schema([Column("key", str), Column("value", int)])
+
+    def _checkpoint(self) -> None:
+        database = Database()
+        meta = database.create_table("meta", self._META_SCHEMA, ("key",))
+        meta.insert({"key": "p", "value": self.config.p})
+        meta.insert({"key": "q", "value": self.config.q})
+        nodes = database.create_table("nodes", self._NODE_SCHEMA, ("docId", "seq"))
+        for document_id, tree in self._documents.items():
+            for sequence, node_id in enumerate(preorder(tree)):
+                nodes.insert(
+                    {
+                        "docId": document_id,
+                        "seq": sequence,
+                        "nodeId": node_id,
+                        "parId": tree.parent(node_id),
+                        "label": tree.label(node_id),
+                    }
+                )
+        indexes = database.create_table(
+            "indexes", self._IDX_SCHEMA, ("treeId", "pqg")
+        )
+        for document_id in self._documents:
+            for key, count in self._forest.index_of(document_id).items():
+                indexes.insert({"treeId": document_id, "pqg": key, "cnt": count})
+        database.save(self._snapshot_path())
+        # The snapshot covers everything: truncate the WAL.
+        with open(self._wal_path(), "w", encoding="utf-8") as handle:
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._batches_since_checkpoint = 0
+
+    def _recover(self) -> None:
+        database = Database.load(self._snapshot_path())
+        meta = {
+            row["key"]: row["value"] for row in database.table("meta").scan_dicts()
+        }
+        self._forest = ForestIndex(GramConfig(meta["p"], meta["q"]))
+        self._documents = {}
+        per_document: Dict[int, List[Dict[str, object]]] = {}
+        for row in database.table("nodes").scan_dicts():
+            per_document.setdefault(row["docId"], []).append(row)
+        for document_id, rows in per_document.items():
+            rows.sort(key=lambda row: row["seq"])  # type: ignore[arg-type,return-value]
+            root = rows[0]
+            tree = Tree(root["label"], root["nodeId"])  # type: ignore[arg-type]
+            for row in rows[1:]:
+                tree.add_child(
+                    row["parId"], row["label"], node_id=row["nodeId"]  # type: ignore[arg-type]
+                )
+            self._documents[document_id] = tree
+        bags: Dict[int, Dict[tuple, int]] = {}
+        for row in database.table("indexes").scan_dicts():
+            bags.setdefault(row["treeId"], {})[row["pqg"]] = row["cnt"]
+        for document_id in self._documents:
+            index = PQGramIndex(self._forest.config, bags.get(document_id, {}))
+            self._forest._indexes[document_id] = index
+            self._forest._invert(document_id, index)
+        # Replay committed WAL batches appended after the snapshot.
+        replayed = 0
+        for document_id, operations in self._read_wal():
+            document = self._documents[document_id]
+            log = EditScript(list(operations)).apply(document)
+            new_index = update_index_replay(
+                self._forest.index_of(document_id),
+                document,
+                log,
+                self._forest.hasher,
+            )
+            self._swap_index(document_id, new_index)
+            replayed += 1
+        if replayed:
+            self._checkpoint()
+        self._batches_since_checkpoint = 0

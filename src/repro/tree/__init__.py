@@ -1,0 +1,49 @@
+"""Ordered labelled trees — the hierarchical-data substrate of the paper.
+
+A tree is a rooted, ordered, node-labelled structure.  Every node carries
+a unique integer id and a string label; two nodes of *different* trees
+are equal iff both id and label match (paper Section 3.1).  The package
+provides:
+
+- :class:`Tree` — the mutable tree with O(1) parent/children access,
+- :class:`Node` — an immutable (id, label) view used in pq-grams,
+- builders for bracket notation and nested tuples,
+- traversals and validation helpers.
+"""
+
+from repro.tree.node import Node
+from repro.tree.tree import Tree
+from repro.tree.builder import (
+    tree_from_brackets,
+    tree_from_nested,
+    tree_to_brackets,
+    tree_to_nested,
+)
+from repro.tree.traversal import (
+    preorder,
+    postorder,
+    bfs_order,
+    descendants_within,
+    leaves,
+    tree_depth,
+)
+from repro.tree.validate import validate_tree
+from repro.tree.fingerprint import subtree_fingerprints, tree_fingerprint
+
+__all__ = [
+    "Node",
+    "Tree",
+    "tree_from_brackets",
+    "tree_from_nested",
+    "tree_to_brackets",
+    "tree_to_nested",
+    "preorder",
+    "postorder",
+    "bfs_order",
+    "descendants_within",
+    "leaves",
+    "tree_depth",
+    "validate_tree",
+    "subtree_fingerprints",
+    "tree_fingerprint",
+]

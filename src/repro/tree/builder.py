@@ -1,0 +1,162 @@
+"""Compact tree construction and formatting helpers.
+
+Two interchange formats are supported:
+
+- *bracket notation* — ``"a(b,c(d,e))"`` — compact and human readable,
+  used pervasively in tests and doctests.  Labels may be quoted with
+  double quotes to contain ``( ) , "`` characters.
+- *nested tuples* — ``("a", [("b", []), ("c", [...])])`` — convenient
+  for programmatic construction.
+
+Both builders assign fresh ids in preorder, so the same textual tree
+always produces the same (id, label) assignment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+from repro.errors import TreeError
+from repro.tree.tree import Tree
+
+Nested = Tuple[str, Sequence["Nested"]]
+
+
+def tree_from_nested(spec: Nested) -> Tree:
+    """Build a tree from ``(label, [children...])`` nested tuples."""
+    label, children = spec
+    tree = Tree(label)
+    _attach_nested(tree, tree.root_id, children)
+    return tree
+
+
+def _attach_nested(tree: Tree, parent_id: int, children: Sequence[Nested]) -> None:
+    for label, grandchildren in children:
+        child_id = tree.add_child(parent_id, label)
+        _attach_nested(tree, child_id, grandchildren)
+
+
+def tree_to_nested(tree: Tree, node_id: Union[int, None] = None) -> Nested:
+    """Inverse of :func:`tree_from_nested` (ids are not preserved)."""
+    if node_id is None:
+        node_id = tree.root_id
+    return (
+        tree.label(node_id),
+        [tree_to_nested(tree, child) for child in tree.children(node_id)],
+    )
+
+
+class _BracketScanner:
+    """Recursive-descent reader for the bracket notation."""
+
+    def __init__(self, text: str) -> None:
+        self._text = text
+        self._pos = 0
+
+    def parse(self) -> Nested:
+        node = self._parse_node()
+        self._skip_spaces()
+        if self._pos != len(self._text):
+            raise TreeError(
+                f"trailing characters at offset {self._pos}: "
+                f"{self._text[self._pos:]!r}"
+            )
+        return node
+
+    def _skip_spaces(self) -> None:
+        while self._pos < len(self._text) and self._text[self._pos].isspace():
+            self._pos += 1
+
+    def _parse_node(self) -> Nested:
+        self._skip_spaces()
+        label = self._parse_label()
+        children: List[Nested] = []
+        self._skip_spaces()
+        if self._peek() == "(":
+            self._pos += 1
+            self._skip_spaces()
+            if self._peek() == ")":
+                raise TreeError("empty child list; drop the parentheses instead")
+            while True:
+                children.append(self._parse_node())
+                self._skip_spaces()
+                char = self._peek()
+                if char == ",":
+                    self._pos += 1
+                elif char == ")":
+                    self._pos += 1
+                    break
+                else:
+                    raise TreeError(
+                        f"expected ',' or ')' at offset {self._pos}"
+                    )
+        return (label, children)
+
+    def _peek(self) -> str:
+        if self._pos < len(self._text):
+            return self._text[self._pos]
+        return ""
+
+    def _parse_label(self) -> str:
+        if self._peek() == '"':
+            return self._parse_quoted()
+        start = self._pos
+        while self._pos < len(self._text) and self._text[self._pos] not in '(),"':
+            self._pos += 1
+        label = self._text[start : self._pos].strip()
+        if not label:
+            raise TreeError(f"missing label at offset {start}")
+        return label
+
+    def _parse_quoted(self) -> str:
+        self._pos += 1  # opening quote
+        parts: List[str] = []
+        while True:
+            if self._pos >= len(self._text):
+                raise TreeError("unterminated quoted label")
+            char = self._text[self._pos]
+            self._pos += 1
+            if char == "\\":
+                if self._pos >= len(self._text):
+                    raise TreeError("dangling escape in quoted label")
+                parts.append(self._text[self._pos])
+                self._pos += 1
+            elif char == '"':
+                return "".join(parts)
+            else:
+                parts.append(char)
+
+
+def tree_from_brackets(text: str) -> Tree:
+    """Parse bracket notation into a tree.
+
+    >>> t = tree_from_brackets("a(b,c(d,e))")
+    >>> len(t)
+    5
+    >>> t.label(t.root_id)
+    'a'
+    """
+    return tree_from_nested(_BracketScanner(text).parse())
+
+
+def _needs_quoting(label: str) -> bool:
+    return any(char in '(),"\\' for char in label) or label != label.strip() or not label
+
+
+def _format_label(label: str) -> str:
+    if _needs_quoting(label):
+        escaped = label.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    return label
+
+
+def tree_to_brackets(tree: Tree, node_id: Union[int, None] = None) -> str:
+    """Serialize a tree to bracket notation (inverse of the parser)."""
+    if node_id is None:
+        node_id = tree.root_id
+    label = _format_label(tree.label(node_id))
+    children = tree.children(node_id)
+    if not children:
+        return label
+    inner = ",".join(tree_to_brackets(tree, child) for child in children)
+    return f"{label}({inner})"

@@ -1,0 +1,54 @@
+"""Structural subtree fingerprints (Merkle-style).
+
+``subtree_fingerprints`` assigns every node a hash that depends on its
+label and the ordered fingerprints of its children, so two subtrees
+get equal fingerprints iff their label structures are identical (up to
+hash collisions).  The tree diff uses these to match unchanged
+subtrees in O(1).
+
+The mixer is BLAKE2b rather than Karp–Rabin: the Karp–Rabin fold is
+*linear*, which creates systematic collisions when child fingerprints
+are folded as single digits (e.g. ``a(b)`` and ``b(a)`` collide
+algebraically).  A cryptographic mix has no such structure, and the
+label fingerprints of the pq-gram index itself are unaffected — they
+hash flat strings, where Karp–Rabin's guarantee applies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Dict
+
+from repro.tree.traversal import postorder
+from repro.tree.tree import Tree
+
+
+def _mix(label: str, child_digests: list[int]) -> int:
+    state = hashlib.blake2b(digest_size=8)
+    raw = label.encode("utf-8")
+    state.update(struct.pack("<I", len(raw)))
+    state.update(raw)
+    for digest in child_digests:
+        state.update(struct.pack("<Q", digest))
+    return int.from_bytes(state.digest(), "little")
+
+
+def subtree_fingerprints(tree: Tree, _unused=None) -> Dict[int, int]:
+    """Fingerprint of every subtree, keyed by its root node id.
+
+    Deterministic across processes; equal label structures (labels,
+    order, shape) yield equal fingerprints.
+    """
+    result: Dict[int, int] = {}
+    for node_id in postorder(tree):
+        result[node_id] = _mix(
+            tree.label(node_id),
+            [result[child] for child in tree.children(node_id)],
+        )
+    return result
+
+
+def tree_fingerprint(tree: Tree) -> int:
+    """One fingerprint for the whole tree's label structure."""
+    return subtree_fingerprints(tree)[tree.root_id]

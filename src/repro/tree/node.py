@@ -1,0 +1,44 @@
+"""Immutable node values used inside pq-grams and profiles.
+
+The paper represents a node as an (identifier, label) pair; pq-grams are
+tuples of such pairs, padded with the special *null node* whose label is
+``*`` (Definition 1).  :data:`NULL_NODE` is that sentinel.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional
+
+#: Reserved label of the null node.  The null label lives outside the
+#: alphabet of real labels; real nodes may still use the string "*"
+#: because equality of nodes also involves the id.
+NULL_LABEL = "*"
+
+
+class Node(NamedTuple):
+    """An (id, label) pair.
+
+    ``id`` is ``None`` exactly for the null node; real nodes carry the
+    integer id that is unique within their tree.
+    """
+
+    id: Optional[int]
+    label: str
+
+    @property
+    def is_null(self) -> bool:
+        """True iff this is the null padding node."""
+        return self.id is None
+
+    def renamed(self, label: str) -> "Node":
+        """Return a copy of this node with a different label."""
+        return Node(self.id, label)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_null:
+            return "•"
+        return f"{self.label}#{self.id}"
+
+
+#: The unique null padding node (paper: a node with label ``*``).
+NULL_NODE = Node(None, NULL_LABEL)

@@ -1,0 +1,83 @@
+"""Tree traversals and neighbourhood queries.
+
+``descendants_within`` implements the paper's ``desc_d(n)`` — the node
+plus its descendants within distance d — which bounds the scope of the
+delta function (Section 7.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, List, Optional
+
+from repro.tree.tree import Tree
+
+
+def preorder(tree: Tree, start: Optional[int] = None) -> Iterator[int]:
+    """Yield node ids in document (preorder) order."""
+    stack = [tree.root_id if start is None else start]
+    while stack:
+        node_id = stack.pop()
+        yield node_id
+        stack.extend(reversed(tree.children(node_id)))
+
+
+def postorder(tree: Tree, start: Optional[int] = None) -> Iterator[int]:
+    """Yield node ids with every node after all of its descendants."""
+    root = tree.root_id if start is None else start
+    stack: List[tuple[int, bool]] = [(root, False)]
+    while stack:
+        node_id, expanded = stack.pop()
+        if expanded:
+            yield node_id
+            continue
+        stack.append((node_id, True))
+        for child in reversed(tree.children(node_id)):
+            stack.append((child, False))
+
+
+def bfs_order(tree: Tree, start: Optional[int] = None) -> Iterator[int]:
+    """Yield node ids level by level."""
+    queue = deque([tree.root_id if start is None else start])
+    while queue:
+        node_id = queue.popleft()
+        yield node_id
+        queue.extend(tree.children(node_id))
+
+
+def descendants_within(tree: Tree, node_id: int, distance: int) -> List[int]:
+    """``desc_d(n)``: ``node_id`` and its descendants within ``distance``.
+
+    A negative distance yields the empty set (used by the INS delta when
+    p = 1, where ``desc_{p-2}`` must be empty).
+    """
+    if distance < 0:
+        return []
+    result: List[int] = []
+    queue = deque([(node_id, 0)])
+    while queue:
+        current, depth = queue.popleft()
+        result.append(current)
+        if depth < distance:
+            for child in tree.children(current):
+                queue.append((child, depth + 1))
+    return result
+
+
+def leaves(tree: Tree) -> Iterator[int]:
+    """Yield the ids of all leaf nodes in document order."""
+    for node_id in preorder(tree):
+        if tree.is_leaf(node_id):
+            yield node_id
+
+
+def tree_depth(tree: Tree) -> int:
+    """Length of the longest root-to-leaf path in edges."""
+    deepest = 0
+    queue = deque([(tree.root_id, 0)])
+    while queue:
+        node_id, depth = queue.popleft()
+        deepest = max(deepest, depth)
+        for child in tree.children(node_id):
+            queue.append((child, depth + 1))
+    return deepest

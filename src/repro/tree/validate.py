@@ -1,0 +1,44 @@
+"""Structural validation of trees.
+
+Used by tests and by the edit-script machinery to assert that a sequence
+of operations left the tree in a consistent state.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TreeError
+from repro.tree.tree import Tree
+
+
+def validate_tree(tree: Tree) -> None:
+    """Raise :class:`TreeError` if the tree violates any invariant.
+
+    Checked invariants:
+
+    - the root has no parent, every other node has exactly one,
+    - parent/child links are mutual and acyclic,
+    - every node is reachable from the root,
+    - no child list contains duplicates.
+    """
+    seen: set[int] = set()
+    stack = [tree.root_id]
+    while stack:
+        node_id = stack.pop()
+        if node_id in seen:
+            raise TreeError(f"node {node_id} reachable twice (cycle or DAG)")
+        seen.add(node_id)
+        children = tree.children(node_id)
+        if len(set(children)) != len(children):
+            raise TreeError(f"node {node_id} has duplicate children")
+        for child in children:
+            if tree.parent(child) != node_id:
+                raise TreeError(
+                    f"child {child} of {node_id} has parent {tree.parent(child)}"
+                )
+            stack.append(child)
+    if tree.parent(tree.root_id) is not None:
+        raise TreeError("root has a parent")
+    all_ids = set(tree.node_ids())
+    if seen != all_ids:
+        orphans = sorted(all_ids - seen)
+        raise TreeError(f"unreachable nodes: {orphans[:10]}")

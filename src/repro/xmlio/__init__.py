@@ -1,0 +1,32 @@
+"""XML input/output.
+
+The paper's experiments run on XML documents (XMark, DBLP).  This
+package maps XML to the ordered labelled trees of :mod:`repro.tree`:
+
+- an element becomes a node labelled with its tag,
+- an attribute becomes a child node ``@name`` with one child carrying
+  the value,
+- text content becomes a leaf node carrying the text.
+
+The tokenizer and parser are written from scratch (no ``xml.etree``) and
+cover the subset the experiments need: elements, attributes, character
+data, comments, processing instructions, CDATA and the five predefined
+entities.
+"""
+
+from repro.xmlio.tokens import Token, TokenKind, tokenize
+from repro.xmlio.parser import parse_xml, tree_from_xml
+from repro.xmlio.writer import write_xml, xml_from_tree
+from repro.xmlio.stream import stream_index_xml, stream_index_xml_file
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "tokenize",
+    "parse_xml",
+    "tree_from_xml",
+    "write_xml",
+    "xml_from_tree",
+    "stream_index_xml",
+    "stream_index_xml_file",
+]

@@ -1,0 +1,79 @@
+"""XML → tree parser.
+
+Mapping (documented in the package docstring): elements become nodes
+labelled by tag, attributes become ``@name`` children with a value
+leaf, text becomes leaves.  Attribute children precede element/text
+children, matching document order of a canonical serialization.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import XmlError
+from repro.tree.tree import Tree
+from repro.xmlio.tokens import Token, TokenKind, tokenize
+
+
+def parse_xml(text: str) -> Tree:
+    """Parse an XML document string into a tree."""
+    root_tree: Optional[Tree] = None
+    stack: List[int] = []
+
+    def open_element(token: Token) -> None:
+        nonlocal root_tree
+        if root_tree is None:
+            if stack:
+                raise XmlError("internal: dangling stack without a tree")
+            root_tree = Tree(token.value)
+            node_id = root_tree.root_id
+        elif not stack:
+            raise XmlError(
+                f"offset {token.offset}: multiple root elements"
+            )
+        else:
+            node_id = root_tree.add_child(stack[-1], token.value)
+        for name, value in token.attributes.items():
+            attribute_id = root_tree.add_child(node_id, f"@{name}")
+            root_tree.add_child(attribute_id, value)
+        stack.append(node_id)
+
+    for token in tokenize(text):
+        if token.kind is TokenKind.OPEN:
+            open_element(token)
+        elif token.kind is TokenKind.SELF_CLOSING:
+            open_element(token)
+            stack.pop()
+        elif token.kind is TokenKind.CLOSE:
+            if not stack:
+                raise XmlError(
+                    f"offset {token.offset}: close tag </{token.value}> "
+                    "without open element"
+                )
+            expected = root_tree.label(stack[-1])  # type: ignore[union-attr]
+            if expected != token.value:
+                raise XmlError(
+                    f"offset {token.offset}: close tag </{token.value}> "
+                    f"does not match open tag <{expected}>"
+                )
+            stack.pop()
+        elif token.kind in (TokenKind.TEXT, TokenKind.CDATA):
+            if not stack:
+                raise XmlError(
+                    f"offset {token.offset}: character data outside the root"
+                )
+            root_tree.add_child(stack[-1], token.value)  # type: ignore[union-attr]
+        # Comments and processing instructions carry no tree content.
+
+    if root_tree is None:
+        raise XmlError("document has no root element")
+    if stack:
+        open_tags = ", ".join(root_tree.label(node_id) for node_id in stack)
+        raise XmlError(f"unclosed elements: {open_tags}")
+    return root_tree
+
+
+def tree_from_xml(path: str) -> Tree:
+    """Parse an XML file into a tree."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_xml(handle.read())

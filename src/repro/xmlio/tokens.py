@@ -1,0 +1,169 @@
+"""XML tokenizer.
+
+Splits a document into open tags (with attributes), close tags,
+self-closing tags, character data, comments, processing instructions
+and CDATA sections.  Namespaces are kept verbatim in tag names; DTDs
+are skipped.  Errors carry the byte offset for diagnostics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import XmlError
+
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
+
+
+class TokenKind(enum.Enum):
+    """Kinds of XML tokens."""
+
+    OPEN = "open"            # <tag attr="v">
+    CLOSE = "close"          # </tag>
+    SELF_CLOSING = "self"    # <tag/>
+    TEXT = "text"            # character data (entities resolved)
+    COMMENT = "comment"      # <!-- ... -->
+    PI = "pi"                # <?...?>
+    CDATA = "cdata"          # <![CDATA[ ... ]]>
+
+
+@dataclass
+class Token:
+    """One token with its kind, payload and source offset."""
+
+    kind: TokenKind
+    value: str
+    offset: int
+    attributes: Dict[str, str] = field(default_factory=dict)
+
+
+def _resolve_entities(text: str, offset: int) -> str:
+    if "&" not in text:
+        return text
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        char = text[i]
+        if char != "&":
+            out.append(char)
+            i += 1
+            continue
+        end = text.find(";", i + 1)
+        if end == -1:
+            raise XmlError(f"offset {offset + i}: unterminated entity")
+        name = text[i + 1 : end]
+        if name.startswith("#x") or name.startswith("#X"):
+            out.append(chr(int(name[2:], 16)))
+        elif name.startswith("#"):
+            out.append(chr(int(name[1:])))
+        elif name in _ENTITIES:
+            out.append(_ENTITIES[name])
+        else:
+            raise XmlError(f"offset {offset + i}: unknown entity &{name};")
+        i = end + 1
+    return "".join(out)
+
+
+def _parse_name(text: str, pos: int) -> Tuple[str, int]:
+    start = pos
+    while pos < len(text) and (text[pos].isalnum() or text[pos] in ":_-."):
+        pos += 1
+    if pos == start:
+        raise XmlError(f"offset {start}: expected a name")
+    return text[start:pos], pos
+
+
+def _skip_spaces(text: str, pos: int) -> int:
+    while pos < len(text) and text[pos].isspace():
+        pos += 1
+    return pos
+
+
+def _parse_attributes(text: str, pos: int) -> Tuple[Dict[str, str], int]:
+    attributes: Dict[str, str] = {}
+    while True:
+        pos = _skip_spaces(text, pos)
+        if pos >= len(text) or text[pos] in "/>":
+            return attributes, pos
+        name, pos = _parse_name(text, pos)
+        pos = _skip_spaces(text, pos)
+        if pos >= len(text) or text[pos] != "=":
+            raise XmlError(f"offset {pos}: expected '=' after attribute {name!r}")
+        pos = _skip_spaces(text, pos + 1)
+        if pos >= len(text) or text[pos] not in "\"'":
+            raise XmlError(f"offset {pos}: attribute value must be quoted")
+        quote = text[pos]
+        end = text.find(quote, pos + 1)
+        if end == -1:
+            raise XmlError(f"offset {pos}: unterminated attribute value")
+        attributes[name] = _resolve_entities(text[pos + 1 : end], pos + 1)
+        pos = end + 1
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield the tokens of an XML document."""
+    pos = 0
+    length = len(text)
+    while pos < length:
+        if text[pos] != "<":
+            end = text.find("<", pos)
+            if end == -1:
+                end = length
+            raw = text[pos:end]
+            if raw.strip():
+                yield Token(TokenKind.TEXT, _resolve_entities(raw, pos), pos)
+            pos = end
+            continue
+        if text.startswith("<!--", pos):
+            end = text.find("-->", pos + 4)
+            if end == -1:
+                raise XmlError(f"offset {pos}: unterminated comment")
+            yield Token(TokenKind.COMMENT, text[pos + 4 : end], pos)
+            pos = end + 3
+        elif text.startswith("<![CDATA[", pos):
+            end = text.find("]]>", pos + 9)
+            if end == -1:
+                raise XmlError(f"offset {pos}: unterminated CDATA section")
+            yield Token(TokenKind.CDATA, text[pos + 9 : end], pos)
+            pos = end + 3
+        elif text.startswith("<?", pos):
+            end = text.find("?>", pos + 2)
+            if end == -1:
+                raise XmlError(f"offset {pos}: unterminated processing instruction")
+            yield Token(TokenKind.PI, text[pos + 2 : end], pos)
+            pos = end + 2
+        elif text.startswith("<!", pos):
+            # DOCTYPE and friends: skip to the matching '>'.
+            depth = 0
+            scan = pos + 2
+            while scan < length:
+                if text[scan] == "<":
+                    depth += 1
+                elif text[scan] == ">":
+                    if depth == 0:
+                        break
+                    depth -= 1
+                scan += 1
+            if scan >= length:
+                raise XmlError(f"offset {pos}: unterminated declaration")
+            pos = scan + 1
+        elif text.startswith("</", pos):
+            name, name_end = _parse_name(text, pos + 2)
+            name_end = _skip_spaces(text, name_end)
+            if name_end >= length or text[name_end] != ">":
+                raise XmlError(f"offset {pos}: malformed close tag")
+            yield Token(TokenKind.CLOSE, name, pos)
+            pos = name_end + 1
+        else:
+            name, name_end = _parse_name(text, pos + 1)
+            attributes, attr_end = _parse_attributes(text, name_end)
+            if text.startswith("/>", attr_end):
+                yield Token(TokenKind.SELF_CLOSING, name, pos, attributes)
+                pos = attr_end + 2
+            elif attr_end < length and text[attr_end] == ">":
+                yield Token(TokenKind.OPEN, name, pos, attributes)
+                pos = attr_end + 1
+            else:
+                raise XmlError(f"offset {pos}: malformed open tag <{name}")

@@ -1,0 +1,122 @@
+"""Tree → XML writer, inverse of :mod:`repro.xmlio.parser`.
+
+Mapping rules (the exact inverse of the parser's):
+
+- a node whose label starts with ``@`` is written as an attribute (its
+  single child holds the value),
+- a leaf whose label is a valid XML name is written as an empty
+  element ``<label/>`` — the parser maps that back to a leaf with the
+  same label, and our tree model does not distinguish element leaves
+  from text leaves, so the round trip is exact,
+- any other leaf is written as character data; two adjacent such
+  leaves are separated by an empty comment ``<!--|-->`` so the parser
+  does not merge them,
+- pretty printing (``indent > 0``) only ever inserts whitespace
+  between elements, never inside mixed content, so it does not change
+  the parsed tree.
+
+``parse(write(t)) == t`` holds for every tree (asserted property-based
+in the test suite).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import XmlError
+from repro.tree.tree import Tree
+
+
+def _escape_text(text: str) -> str:
+    return (
+        text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
+
+
+def _escape_attribute(text: str) -> str:
+    return _escape_text(text).replace('"', "&quot;")
+
+
+def _is_xml_name(label: str) -> bool:
+    """Whether the label can serve as an element name for the writer
+    (matching what the tokenizer's name scanner accepts)."""
+    if not label or label[0].isdigit() or label[0] in ":-.":
+        return False
+    return all(char.isalnum() or char in ":_-." for char in label)
+
+
+def _is_attribute(tree: Tree, node_id: int) -> bool:
+    return tree.label(node_id).startswith("@")
+
+
+def _written_as_text(tree: Tree, node_id: int) -> bool:
+    return tree.is_leaf(node_id) and not _is_xml_name(tree.label(node_id))
+
+
+def write_xml(tree: Tree, indent: int = 0) -> str:
+    """Serialize a tree to an XML string.
+
+    ``indent > 0`` pretty-prints with that many spaces per level; the
+    default produces a canonical single-line document.
+    """
+    out: List[str] = []
+    _write_element(tree, tree.root_id, out, indent, 0)
+    return "".join(out)
+
+
+def _write_element(
+    tree: Tree, node_id: int, out: List[str], indent: int, level: int
+) -> None:
+    label = tree.label(node_id)
+    if label.startswith("@"):
+        raise XmlError(f"attribute node {label!r} outside an element")
+    if not _is_xml_name(label):
+        raise XmlError(f"label {label!r} cannot be an element name")
+    pad = " " * (indent * level) if indent else ""
+    newline = "\n" if indent else ""
+    attributes: List[int] = []
+    content: List[int] = []
+    for child in tree.children(node_id):
+        if _is_attribute(tree, child):
+            attributes.append(child)
+        else:
+            content.append(child)
+    out.append(f"{pad}<{label}")
+    for attribute_id in attributes:
+        values = tree.children(attribute_id)
+        if len(values) != 1 or not tree.is_leaf(values[0]):
+            raise XmlError(
+                f"attribute node {tree.label(attribute_id)!r} must have "
+                "exactly one leaf child"
+            )
+        name = tree.label(attribute_id)[1:]
+        out.append(f' {name}="{_escape_attribute(tree.label(values[0]))}"')
+    if not content:
+        out.append(f"/>{newline}")
+        return
+    out.append(">")
+    has_text = any(_written_as_text(tree, child) for child in content)
+    # Mixed content is written compactly — pretty printing must not
+    # inject whitespace into character data.
+    inner_indent = 0 if has_text else indent
+    if inner_indent:
+        out.append("\n")
+    previous_was_text = False
+    for child in content:
+        if _written_as_text(tree, child):
+            if previous_was_text:
+                out.append("<!--|-->")
+            out.append(_escape_text(tree.label(child)))
+            previous_was_text = True
+        else:
+            _write_element(tree, child, out, inner_indent, level + 1)
+            previous_was_text = False
+    if inner_indent:
+        out.append(pad)
+    out.append(f"</{label}>{newline if not has_text or indent == 0 else newline}")
+
+
+def xml_from_tree(tree: Tree, path: str, indent: int = 0) -> None:
+    """Write a tree to an XML file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(write_xml(tree, indent))

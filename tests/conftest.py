@@ -1,0 +1,93 @@
+"""Shared fixtures and hypothesis strategies.
+
+The tree and edit-script strategies are the backbone of the
+property-based suite: arbitrary ordered labelled trees, and edit
+scripts that are applicable by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.config import GramConfig
+from repro.edits.generator import EditScriptGenerator
+from repro.edits.ops import EditOperation
+from repro.edits.script import apply_script
+from repro.hashing.labelhash import LabelHasher
+from repro.tree.tree import Tree
+
+LABELS = ("a", "b", "c", "d", "e")
+
+
+def build_random_tree(size: int, seed: int) -> Tree:
+    """Uniform-attachment random tree (deterministic in the inputs)."""
+    rng = random.Random(seed)
+    tree = Tree(rng.choice(LABELS))
+    ids = [tree.root_id]
+    for _ in range(size - 1):
+        parent = rng.choice(ids)
+        position = rng.randint(1, tree.fanout(parent) + 1)
+        ids.append(tree.add_child(parent, rng.choice(LABELS), position=position))
+    return tree
+
+
+@st.composite
+def trees(draw, max_size: int = 24) -> Tree:
+    """An arbitrary ordered labelled tree."""
+    size = draw(st.integers(min_value=1, max_value=max_size))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    return build_random_tree(size, seed)
+
+
+@st.composite
+def gram_configs(draw, max_p: int = 4, max_q: int = 3) -> GramConfig:
+    """An arbitrary (p, q) configuration."""
+    return GramConfig(
+        draw(st.integers(min_value=1, max_value=max_p)),
+        draw(st.integers(min_value=1, max_value=max_q)),
+    )
+
+
+@st.composite
+def trees_with_scripts(
+    draw, max_size: int = 20, max_ops: int = 12
+) -> Tuple[Tree, List[EditOperation]]:
+    """A tree plus an applicable edit script for it."""
+    tree = draw(trees(max_size=max_size))
+    length = draw(st.integers(min_value=1, max_value=max_ops))
+    seed = draw(st.integers(min_value=0, max_value=2**32 - 1))
+    generator = EditScriptGenerator(
+        rng=random.Random(seed), labels=list(LABELS) + ["x", "y"]
+    )
+    script = generator.generate(tree, length)
+    return tree, list(script)
+
+
+@st.composite
+def edited_trees(draw, max_size: int = 20, max_ops: int = 12):
+    """(T_0, T_n, log) triples — the maintenance scenario inputs."""
+    tree, script = draw(trees_with_scripts(max_size=max_size, max_ops=max_ops))
+    edited, log = apply_script(tree, script)
+    return tree, edited, log
+
+
+@pytest.fixture
+def hasher() -> LabelHasher:
+    """A fresh label hasher."""
+    return LabelHasher()
+
+
+@pytest.fixture
+def paper_tree_t0() -> Tree:
+    """T_0 of the paper's Fig. 2: a(c, b(e, f), c)."""
+    tree = Tree("a", 1)
+    tree.add_child(1, "c", 2)
+    tree.add_child(1, "b", 3)
+    tree.add_child(1, "c", 4)
+    tree.add_child(3, "e", 5)
+    tree.add_child(3, "f", 6)
+    return tree

@@ -1,0 +1,120 @@
+"""BlockedList tests: behaves exactly like a list of unique ints."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tree.childlist import BlockedList
+
+
+class TestBasics:
+    def test_empty(self):
+        blocked = BlockedList()
+        assert len(blocked) == 0
+        assert list(blocked) == []
+        assert 5 not in blocked
+
+    def test_bulk_load(self):
+        blocked = BlockedList(range(100), target=8)
+        assert len(blocked) == 100
+        assert blocked.to_list() == list(range(100))
+        assert blocked[0] == 0
+        assert blocked[99] == 99
+        assert blocked[-1] == 99
+
+    def test_insert_positions(self):
+        blocked = BlockedList(target=4)
+        blocked.insert(0, 10)
+        blocked.insert(0, 20)
+        blocked.insert(1, 30)
+        blocked.insert(3, 40)
+        assert blocked.to_list() == [20, 30, 10, 40]
+
+    def test_index(self):
+        blocked = BlockedList(range(0, 200, 2), target=8)
+        assert blocked.index(0) == 0
+        assert blocked.index(100) == 50
+        with pytest.raises(ValueError):
+            blocked.index(1)
+
+    def test_duplicate_insert_rejected(self):
+        blocked = BlockedList([1, 2, 3])
+        with pytest.raises(ValueError):
+            blocked.insert(0, 2)
+
+    def test_remove_returns_position(self):
+        blocked = BlockedList([5, 6, 7, 8], target=4)
+        assert blocked.remove(7) == 2
+        assert blocked.to_list() == [5, 6, 8]
+        with pytest.raises(ValueError):
+            blocked.remove(7)
+
+    def test_getitem_bounds(self):
+        blocked = BlockedList([1, 2])
+        with pytest.raises(IndexError):
+            blocked[2]
+        with pytest.raises(IndexError):
+            blocked[-3]
+
+    def test_pop_range(self):
+        blocked = BlockedList(range(20), target=4)
+        removed = blocked.pop_range(5, 12)
+        assert removed == list(range(5, 12))
+        assert blocked.to_list() == list(range(5)) + list(range(12, 20))
+
+    def test_insert_range(self):
+        blocked = BlockedList([1, 2, 3], target=4)
+        blocked.insert_range(1, [10, 11, 12])
+        assert blocked.to_list() == [1, 10, 11, 12, 2, 3]
+
+    def test_slice_values(self):
+        blocked = BlockedList(range(100), target=8)
+        assert blocked.slice_values(10, 25) == list(range(10, 25))
+        assert blocked.slice_values(90, 200) == list(range(90, 100))
+        assert blocked.slice_values(5, 5) == []
+
+
+class _Model:
+    """Reference implementation: a plain list."""
+
+    def __init__(self):
+        self.items = []
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.integers(0, 2**32 - 1), st.integers(4, 16))
+def test_matches_list_model_under_random_ops(seed, target):
+    rng = random.Random(seed)
+    blocked = BlockedList(target=target)
+    model = []
+    next_value = 0
+    for _ in range(300):
+        choice = rng.random()
+        if choice < 0.45 or not model:
+            position = rng.randint(0, len(model))
+            blocked.insert(position, next_value)
+            model.insert(position, next_value)
+            next_value += 1
+        elif choice < 0.7:
+            value = rng.choice(model)
+            expected_position = model.index(value)
+            assert blocked.remove(value) == expected_position
+            model.remove(value)
+        elif choice < 0.8 and len(model) >= 2:
+            start = rng.randint(0, len(model) - 1)
+            stop = rng.randint(start, len(model))
+            assert blocked.pop_range(start, stop) == model[start:stop]
+            del model[start:stop]
+        elif choice < 0.9:
+            value = rng.choice(model)
+            assert blocked.index(value) == model.index(value)
+        else:
+            start = rng.randint(0, len(model))
+            stop = rng.randint(0, len(model) + 3)
+            assert blocked.slice_values(start, stop) == model[start:stop]
+        assert len(blocked) == len(model)
+    assert blocked.to_list() == model
+    for position in range(len(model)):
+        assert blocked[position] == model[position]

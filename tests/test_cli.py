@@ -1,0 +1,145 @@
+"""CLI tests (in-process through ``repro.cli.main``)."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import dblp_tree
+from repro.edits import Rename, apply_script
+from repro.xmlio import xml_from_tree
+
+
+@pytest.fixture
+def xml_files(tmp_path):
+    tree = dblp_tree(10, seed=1)
+    edited, _ = apply_script(
+        tree, [Rename(tree.children(tree.children(tree.root_id)[0])[0], "editor")]
+    )
+    old_path = str(tmp_path / "old.xml")
+    new_path = str(tmp_path / "new.xml")
+    xml_from_tree(tree, old_path)
+    xml_from_tree(edited, new_path)
+    return old_path, new_path
+
+
+class TestIndexCommand:
+    def test_prints_stats(self, xml_files, capsys):
+        old_path, _ = xml_files
+        assert main(["index", old_path, "--p", "2", "--q", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "2,3-grams" in output
+        assert "pq-grams:" in output
+
+    def test_missing_file_is_clean_error(self, capsys, tmp_path):
+        assert main(["index", str(tmp_path / "nope.xml")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_streaming_mode(self, xml_files, capsys):
+        old_path, _ = xml_files
+        assert main(["index", old_path, "--stream"]) == 0
+        streamed = capsys.readouterr().out
+        assert "streaming (no DOM)" in streamed
+        # Same counts as the DOM path.
+        assert main(["index", old_path]) == 0
+        dom = capsys.readouterr().out
+        pick = lambda text: [
+            line for line in text.splitlines() if "pq-grams:" in line
+        ]
+        assert pick(streamed) == pick(dom)
+
+    def test_dump_decodes_labels(self, xml_files, capsys):
+        old_path, _ = xml_files
+        assert main(["index", old_path, "--dump", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "dblp" in output  # decoded label appears in the dump
+        assert "|" in output     # p-part / q-part split marker
+
+
+class TestDistanceCommand:
+    def test_identical_files_zero(self, xml_files, capsys):
+        old_path, _ = xml_files
+        assert main(["distance", old_path, old_path]) == 0
+        assert float(capsys.readouterr().out.strip()) == 0.0
+
+    def test_edited_files_positive(self, xml_files, capsys):
+        old_path, new_path = xml_files
+        assert main(["distance", old_path, new_path]) == 0
+        assert float(capsys.readouterr().out.strip()) > 0.0
+
+
+class TestDiffCommand:
+    def test_diff_emits_parseable_log(self, xml_files, capsys):
+        from repro.edits import parse_operations
+
+        old_path, new_path = xml_files
+        assert main(["diff", old_path, new_path]) == 0
+        captured = capsys.readouterr()
+        operations = parse_operations(captured.out)
+        assert len(operations) >= 1
+        assert "operation(s)" in captured.err
+
+
+class TestStoreCommands:
+    def test_full_workflow(self, xml_files, tmp_path, capsys):
+        old_path, new_path = xml_files
+        store_dir = str(tmp_path / "store")
+
+        assert main(["store", "--dir", store_dir, "add", "1", old_path]) == 0
+        capsys.readouterr()
+
+        # Produce an edit log with diff, apply it through the store.
+        assert main(["diff", old_path, new_path]) == 0
+        log_text = capsys.readouterr().out
+        log_path = str(tmp_path / "edits.log")
+        with open(log_path, "w") as handle:
+            handle.write(log_text)
+        assert main(["store", "--dir", store_dir, "edit", "1", log_path]) == 0
+        capsys.readouterr()
+
+        # The edited document now matches the new version exactly.
+        assert main(["store", "--dir", store_dir, "lookup", new_path]) == 0
+        output = capsys.readouterr().out
+        assert "doc 1" in output and "0.0000" in output
+
+        assert main(["store", "--dir", store_dir, "list"]) == 0
+        assert "doc 1" in capsys.readouterr().out
+
+        assert main(["store", "--dir", store_dir, "show", "1"]) == 0
+        assert "pq-grams" in capsys.readouterr().out
+
+    def test_verify_reports_ok(self, xml_files, tmp_path, capsys):
+        old_path, _ = xml_files
+        store_dir = str(tmp_path / "store")
+        main(["store", "--dir", store_dir, "add", "1", old_path])
+        capsys.readouterr()
+        assert main(["store", "--dir", store_dir, "verify"]) == 0
+        output = capsys.readouterr().out
+        assert "doc 1\tok" in output
+        assert "0 mismatch" in output
+
+    def test_duplicates_finds_planted_pair(self, xml_files, tmp_path, capsys):
+        old_path, new_path = xml_files
+        store_dir = str(tmp_path / "store")
+        main(["store", "--dir", store_dir, "add", "1", old_path])
+        main(["store", "--dir", store_dir, "add", "2", new_path])
+        capsys.readouterr()
+        assert main(
+            ["store", "--dir", store_dir, "duplicates", "--tau", "0.5"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "doc 1\tdoc 2" in captured.out
+        assert "1 pair(s)" in captured.err
+
+    def test_lookup_no_match_message(self, xml_files, tmp_path, capsys):
+        old_path, _ = xml_files
+        store_dir = str(tmp_path / "store")
+        main(["store", "--dir", store_dir, "add", "1", old_path])
+        capsys.readouterr()
+        assert main(
+            ["store", "--dir", store_dir, "lookup", old_path, "--tau", "0.5"]
+        ) == 0
+        # Identical document: found.  Now an empty store case:
+        other_dir = str(tmp_path / "empty")
+        assert main(
+            ["store", "--dir", other_dir, "lookup", old_path, "--tau", "0.5"]
+        ) == 0
+        assert "no documents" in capsys.readouterr().out

@@ -1,0 +1,63 @@
+"""Subtree operations lowered to node edit sequences (Section 10)."""
+
+import pytest
+
+from repro.edits import (
+    apply_script,
+    delete_subtree_ops,
+    insert_subtree_ops,
+    move_subtree_ops,
+)
+from repro.tree import tree_from_brackets, tree_to_brackets, validate_tree
+
+
+class TestInsertSubtree:
+    def test_inserts_whole_subtree(self):
+        tree = tree_from_brackets("r(a,b)")
+        spec = ("x", [("y", []), ("z", [("w", [])])])
+        ops = insert_subtree_ops(tree, spec, tree.root_id, 2)
+        edited, _ = apply_script(tree, ops)
+        assert tree_to_brackets(edited) == "r(a,x(y,z(w)),b)"
+        validate_tree(edited)
+
+    def test_every_step_is_leaf_insert(self):
+        tree = tree_from_brackets("r")
+        ops = insert_subtree_ops(tree, ("x", [("y", [])]), tree.root_id, 1)
+        assert all(op.m == op.k - 1 for op in ops)
+
+
+class TestDeleteSubtree:
+    def test_removes_whole_subtree(self):
+        tree = tree_from_brackets("r(a(b,c(d)),e)")
+        ops = delete_subtree_ops(tree, 1)
+        edited, _ = apply_script(tree, ops)
+        assert tree_to_brackets(edited) == "r(e)"
+        validate_tree(edited)
+
+    def test_inverse_log_restores(self):
+        tree = tree_from_brackets("r(a(b,c(d)),e)")
+        ops = delete_subtree_ops(tree, 1)
+        edited, log = apply_script(tree, ops)
+        from repro.edits.script import undo_log
+
+        assert undo_log(edited, log) == tree
+
+
+class TestMoveSubtree:
+    def test_move_to_other_parent(self):
+        tree = tree_from_brackets("r(a(b,c),d)")
+        ops, new_root = move_subtree_ops(tree, 1, 4, 1)
+        edited, _ = apply_script(tree, ops)
+        assert tree_to_brackets(edited) == "r(d(a(b,c)))"
+        assert edited.label(new_root) == "a"
+
+    def test_move_within_same_parent(self):
+        tree = tree_from_brackets("r(a,b,c)")
+        ops, _ = move_subtree_ops(tree, 1, tree.root_id, 3)
+        edited, _ = apply_script(tree, ops)
+        assert tree_to_brackets(edited) == "r(b,a,c)"
+
+    def test_move_below_itself_rejected(self):
+        tree = tree_from_brackets("r(a(b))")
+        with pytest.raises(ValueError):
+            move_subtree_ops(tree, 1, 2, 1)

@@ -1,0 +1,58 @@
+"""Log reduction (Section 10 future work) preserves the final tree."""
+
+from hypothesis import given, settings
+
+from repro.edits import Delete, Insert, Rename, apply_script, reduce_log
+from repro.tree import tree_from_brackets
+
+from tests.conftest import trees_with_scripts
+
+
+class TestRenameCollapse:
+    def test_chain_keeps_last(self):
+        tree = tree_from_brackets("r(a)")
+        script = [Rename(1, "x"), Rename(1, "y"), Rename(1, "z")]
+        reduced = reduce_log(tree, script)
+        assert reduced == [Rename(1, "z")]
+
+    def test_restoring_chain_disappears(self):
+        tree = tree_from_brackets("r(a)")
+        script = [Rename(1, "x"), Rename(1, "a")]
+        assert reduce_log(tree, script) == []
+
+    def test_chain_broken_by_structural_op(self):
+        tree = tree_from_brackets("r(a,b)")
+        script = [Rename(1, "x"), Delete(2), Rename(1, "y")]
+        reduced = reduce_log(tree, script)
+        # Conservative: the delete separates the two renames.
+        assert Rename(1, "x") in reduced and Rename(1, "y") in reduced
+
+
+class TestInsertDeleteAnnihilation:
+    def test_leaf_insert_then_delete_dropped(self):
+        tree = tree_from_brackets("r(a)")
+        script = [Insert(9, "x", 0, 1, 0), Delete(9)]
+        assert reduce_log(tree, script) == []
+
+    def test_touched_node_not_dropped(self):
+        tree = tree_from_brackets("r(a)")
+        script = [Insert(9, "x", 0, 1, 0), Rename(9, "y"), Delete(9)]
+        reduced = reduce_log(tree, script)
+        assert len(reduced) == 3
+
+    def test_adopting_insert_not_dropped(self):
+        tree = tree_from_brackets("r(a)")
+        script = [Insert(9, "x", 0, 1, 1), Delete(9)]
+        reduced = reduce_log(tree, script)
+        assert len(reduced) == 2
+
+
+@settings(max_examples=80)
+@given(trees_with_scripts(max_ops=16))
+def test_reduction_preserves_final_tree(tree_and_script):
+    tree, script = tree_and_script
+    reduced = reduce_log(tree, script)
+    assert len(reduced) <= len(script)
+    full, _ = apply_script(tree, script)
+    shortcut, _ = apply_script(tree, reduced)
+    assert full == shortcut

@@ -1,0 +1,65 @@
+"""Log text serialization round trips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.edits import Delete, Insert, Rename, format_operations, parse_operations
+from repro.edits.serialize import LogFormatError, format_operation, parse_operation
+
+
+class TestFormatting:
+    def test_format_each_kind(self):
+        assert format_operation(Insert(17, "b", 3, 2, 3)) == 'INS 17 "b" 3 2 3'
+        assert format_operation(Delete(17)) == "DEL 17"
+        assert format_operation(Rename(5, "conf")) == 'REN 5 "conf"'
+
+    def test_labels_with_spaces_and_quotes(self):
+        op = Rename(1, 'tricky "label" \\ here')
+        assert parse_operation(format_operation(op)) == op
+
+    def test_multiline_roundtrip(self):
+        ops = [Insert(9, "x y", 0, 1, 0), Delete(4), Rename(2, "z")]
+        assert parse_operations(format_operations(ops)) == ops
+
+    def test_comments_and_blanks_skipped(self):
+        text = "\n# a comment\nDEL 3   # trailing\n\nREN 1 \"q\"\n"
+        assert parse_operations(text) == [Delete(3), Rename(1, "q")]
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "NOP 1",
+            "DEL",
+            "REN 1 unquoted",
+            'INS 1 "x" 2 3',           # missing m
+            'REN 1 "open',             # unterminated quote
+            "DEL abc",
+        ],
+    )
+    def test_malformed_lines(self, line):
+        with pytest.raises(LogFormatError):
+            parse_operation(line)
+
+
+@given(
+    st.lists(
+        st.one_of(
+            st.builds(
+                Insert,
+                st.integers(0, 1000),
+                st.text(min_size=1, max_size=8),
+                st.integers(0, 1000),
+                st.integers(1, 50),
+                st.integers(0, 50),
+            ),
+            st.builds(Delete, st.integers(0, 1000)),
+            st.builds(Rename, st.integers(0, 1000), st.text(min_size=1, max_size=8)),
+        ),
+        max_size=20,
+    )
+)
+def test_roundtrip_arbitrary_ops(ops):
+    assert parse_operations(format_operations(ops)) == ops

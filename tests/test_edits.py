@@ -1,0 +1,148 @@
+"""Unit tests for edit operations, scripts and logs."""
+
+import pytest
+
+from repro.edits import (
+    Delete,
+    EditScript,
+    Insert,
+    Rename,
+    apply_script,
+    is_applicable,
+)
+from repro.edits.script import log_of_script, undo_log
+from repro.errors import EditError, RootEditError
+from repro.tree import tree_from_brackets, tree_to_brackets
+
+
+class TestInsert:
+    def test_leaf_insert(self):
+        tree = tree_from_brackets("r(a,b)")
+        Insert(99, "x", tree.root_id, 2, 1).apply(tree)
+        assert tree_to_brackets(tree) == "r(a,x,b)"
+
+    def test_adopting_insert(self):
+        tree = tree_from_brackets("r(a,b,c)")
+        Insert(99, "x", tree.root_id, 1, 2).apply(tree)
+        assert tree_to_brackets(tree) == "r(x(a,b),c)"
+
+    def test_inverse_is_delete(self):
+        tree = tree_from_brackets("r(a)")
+        op = Insert(99, "x", tree.root_id, 1, 1)
+        assert op.inverse(tree) == Delete(99)
+
+    def test_existing_id_rejected(self):
+        tree = tree_from_brackets("r(a)")
+        with pytest.raises(EditError):
+            Insert(1, "x", tree.root_id, 1, 0).apply(tree)
+
+    def test_missing_parent_rejected(self):
+        tree = tree_from_brackets("r")
+        with pytest.raises(EditError):
+            Insert(99, "x", 42, 1, 0).apply(tree)
+
+    def test_bad_range_rejected(self):
+        tree = tree_from_brackets("r(a)")
+        with pytest.raises(EditError):
+            Insert(99, "x", tree.root_id, 1, 5).apply(tree)
+        with pytest.raises(EditError):
+            Insert(99, "x", tree.root_id, 0, 0).apply(tree)
+
+
+class TestDelete:
+    def test_delete_inner_node(self):
+        tree = tree_from_brackets("r(a(b,c),d)")
+        Delete(1).apply(tree)
+        assert tree_to_brackets(tree) == "r(b,c,d)"
+
+    def test_inverse_reinserts_exactly(self):
+        tree = tree_from_brackets("r(a,b(c,d),e)")
+        op = Delete(2)
+        inverse = op.inverse(tree)
+        assert inverse == Insert(2, "b", tree.root_id, 2, 3)
+        before = tree.structural_key()
+        op.apply(tree)
+        inverse.apply(tree)
+        assert tree.structural_key() == before
+
+    def test_root_delete_rejected(self):
+        tree = tree_from_brackets("r(a)")
+        with pytest.raises(RootEditError):
+            Delete(tree.root_id).apply(tree)
+
+    def test_missing_node_rejected(self):
+        tree = tree_from_brackets("r")
+        with pytest.raises(EditError):
+            Delete(42).apply(tree)
+
+
+class TestRename:
+    def test_rename(self):
+        tree = tree_from_brackets("r(a)")
+        Rename(1, "z").apply(tree)
+        assert tree.label(1) == "z"
+
+    def test_same_label_rejected(self):
+        tree = tree_from_brackets("r(a)")
+        with pytest.raises(EditError):
+            Rename(1, "a").apply(tree)
+
+    def test_root_rename_rejected(self):
+        tree = tree_from_brackets("r(a)")
+        with pytest.raises(RootEditError):
+            Rename(tree.root_id, "z").apply(tree)
+
+    def test_inverse_restores_label(self):
+        tree = tree_from_brackets("r(a)")
+        op = Rename(1, "z")
+        inverse = op.inverse(tree)
+        op.apply(tree)
+        inverse.apply(tree)
+        assert tree.label(1) == "a"
+
+
+class TestApplicability:
+    def test_applicable_cases(self):
+        tree = tree_from_brackets("r(a,b)")
+        assert is_applicable(tree, Rename(1, "z"))
+        assert is_applicable(tree, Delete(2))
+        assert is_applicable(tree, Insert(99, "x", tree.root_id, 1, 2))
+
+    def test_inapplicable_cases(self):
+        tree = tree_from_brackets("r(a)")
+        assert not is_applicable(tree, Rename(1, "a"))      # same label
+        assert not is_applicable(tree, Rename(42, "z"))     # missing node
+        assert not is_applicable(tree, Delete(tree.root_id))
+        assert not is_applicable(tree, Insert(1, "x", 0, 1, 0))  # id clash
+        assert not is_applicable(tree, Insert(99, "x", 0, 2, 3)) # bad range
+
+
+class TestScripts:
+    def test_script_apply_returns_log_in_order(self):
+        tree = tree_from_brackets("r(a)")
+        script = EditScript([Rename(1, "x"), Rename(1, "y")])
+        log = script.apply(tree)
+        assert log == [Rename(1, "a"), Rename(1, "x")]
+        assert tree.label(1) == "y"
+
+    def test_apply_script_leaves_input_untouched(self):
+        tree = tree_from_brackets("r(a)")
+        edited, _ = apply_script(tree, [Rename(1, "x")])
+        assert tree.label(1) == "a"
+        assert edited.label(1) == "x"
+
+    def test_undo_log_restores_original(self):
+        tree = tree_from_brackets("r(a,b(c))")
+        script = [Delete(2), Insert(9, "n", tree.root_id, 1, 2), Rename(1, "q")]
+        edited, log = apply_script(tree, script)
+        assert undo_log(edited, log) == tree
+
+    def test_log_of_script_helper(self):
+        tree = tree_from_brackets("r(a)")
+        log = log_of_script(tree, [Rename(1, "x")])
+        assert log == [Rename(1, "a")]
+
+    def test_str_formatting(self):
+        script = EditScript([Insert(9, "n", 0, 1, 0), Delete(2), Rename(1, "q")])
+        text = str(script)
+        assert "INS" in text and "DEL(2)" in text and "REN(1,'q')" in text

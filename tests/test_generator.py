@@ -1,0 +1,75 @@
+"""Edit-script generator behaviour tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edits import Delete, EditScriptGenerator, Insert, Rename
+from repro.tree import Tree, tree_from_brackets, validate_tree
+
+from tests.conftest import trees
+
+
+class TestWeights:
+    def test_rename_only(self):
+        tree = tree_from_brackets("r(a,b,c)")
+        generator = EditScriptGenerator(
+            rng=random.Random(1), weights=(0.0, 0.0, 1.0)
+        )
+        script = generator.generate(tree, 20)
+        assert all(isinstance(op, Rename) for op in script)
+
+    def test_insert_only(self):
+        tree = tree_from_brackets("r(a)")
+        generator = EditScriptGenerator(
+            rng=random.Random(2), weights=(1.0, 0.0, 0.0)
+        )
+        script = generator.generate(tree, 20)
+        assert all(isinstance(op, Insert) for op in script)
+
+    def test_singleton_tree_falls_back_to_insert(self):
+        tree = Tree("r")
+        generator = EditScriptGenerator(
+            rng=random.Random(3), weights=(0.0, 1.0, 1.0)
+        )
+        script = generator.generate(tree, 1)
+        assert isinstance(script[0], Insert)
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ValueError):
+            EditScriptGenerator(weights=(1.0, 1.0))
+
+
+class TestProperties:
+    def test_generation_does_not_mutate_input(self):
+        tree = tree_from_brackets("r(a(b),c)")
+        before = tree.structural_key()
+        EditScriptGenerator(rng=random.Random(4)).generate(tree, 15)
+        assert tree.structural_key() == before
+
+    def test_deterministic_with_seeded_rng(self):
+        tree = tree_from_brackets("r(a(b),c)")
+        first = EditScriptGenerator(rng=random.Random(5)).generate(tree, 10)
+        second = EditScriptGenerator(rng=random.Random(5)).generate(tree, 10)
+        assert list(first) == list(second)
+
+    @settings(max_examples=40)
+    @given(trees(max_size=12), st.integers(0, 2**31), st.integers(1, 15))
+    def test_scripts_always_applicable(self, tree, seed, length):
+        generator = EditScriptGenerator(rng=random.Random(seed))
+        script = generator.generate(tree, length)
+        assert len(script) == length
+        working = tree.copy()
+        for operation in script:
+            operation.apply(working)  # raises if inapplicable
+        validate_tree(working)
+
+    def test_labels_drawn_from_vocabulary(self):
+        tree = tree_from_brackets("r(a)")
+        generator = EditScriptGenerator(
+            rng=random.Random(6), labels=("only",), weights=(1.0, 0.0, 0.0)
+        )
+        script = generator.generate(tree, 5)
+        assert all(op.label == "only" for op in script)

@@ -1,0 +1,84 @@
+"""Fingerprint and label-hashing tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.hashing import (
+    KarpRabinFingerprint,
+    LabelHasher,
+    NULL_HASH,
+    combine_fingerprints,
+)
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        fp = KarpRabinFingerprint()
+        assert fp.of_text("dblp") == fp.of_text("dblp")
+
+    def test_distinct_small_strings_distinct(self):
+        fp = KarpRabinFingerprint()
+        values = {fp.of_text(s) for s in ("a", "b", "ab", "ba", "", "aa")}
+        assert len(values) == 6
+
+    def test_range(self):
+        fp = KarpRabinFingerprint()
+        for text in ("", "x", "a longer label with spaces", "ünïcode"):
+            assert 0 <= fp.of_text(text) < fp.prime
+
+    @given(st.binary(max_size=64), st.binary(max_size=64))
+    def test_concat_identity(self, left, right):
+        fp = KarpRabinFingerprint()
+        combined = fp.concat(fp.of_bytes(left), fp.of_bytes(right), len(right))
+        assert combined == fp.of_bytes(left + right)
+
+    def test_invalid_parameters(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            KarpRabinFingerprint(base=1)
+        with pytest.raises(ValueError):
+            KarpRabinFingerprint(base=100, prime=50)
+
+
+class TestLabelHasher:
+    def test_null_hash_reserved(self):
+        hasher = LabelHasher()
+        assert hasher.hash_optional(None) == NULL_HASH
+        for label in ("a", "*", "dblp", ""):
+            assert hasher.hash_label(label) != NULL_HASH
+
+    def test_memoization(self):
+        hasher = LabelHasher()
+        first = hasher.hash_label("article")
+        assert hasher.hash_label("article") == first
+        assert len(hasher) == 1
+
+    def test_reverse_map(self):
+        hasher = LabelHasher(keep_reverse_map=True)
+        value = hasher.hash_label("title")
+        assert hasher.lookup(value) == "title"
+        assert hasher.lookup(NULL_HASH) == "*"
+
+    def test_reverse_map_disabled(self):
+        hasher = LabelHasher()
+        value = hasher.hash_label("title")
+        assert hasher.lookup(value) is None
+
+    @given(st.lists(st.text(min_size=1, max_size=10), min_size=2,
+                    max_size=20, unique=True))
+    def test_distinct_labels_distinct_hashes(self, labels):
+        hasher = LabelHasher()
+        values = [hasher.hash_label(label) for label in labels]
+        assert len(set(values)) == len(labels)
+
+
+class TestCombine:
+    def test_order_sensitive(self):
+        assert combine_fingerprints([1, 2, 3]) != combine_fingerprints([3, 2, 1])
+
+    def test_length_sensitive(self):
+        assert combine_fingerprints([1, 2]) != combine_fingerprints([1, 2, 0])
+
+    def test_deterministic(self):
+        assert combine_fingerprints([5, 6, 7]) == combine_fingerprints([5, 6, 7])

@@ -1,0 +1,61 @@
+"""Index inspection helper tests."""
+
+from repro.core import GramConfig, PQGramIndex
+from repro.core.inspect import decode_key, diff_indexes, explain_index, format_gram
+from repro.hashing import LabelHasher
+from repro.tree import tree_from_brackets
+
+
+class TestDecoding:
+    def test_decode_known_labels(self, paper_tree_t0):
+        hasher = LabelHasher(keep_reverse_map=True)
+        index = PQGramIndex.from_tree(paper_tree_t0, GramConfig(3, 3), hasher)
+        key = next(iter(dict(index.items())))
+        labels = decode_key(key, hasher)
+        assert len(labels) == 6
+        assert all(isinstance(label, str) for label in labels)
+
+    def test_nulls_decode_to_star(self):
+        hasher = LabelHasher(keep_reverse_map=True)
+        assert decode_key((0, 0), hasher) == ("*", "*")
+
+    def test_unknown_hash_marked(self):
+        hasher = LabelHasher(keep_reverse_map=True)
+        assert decode_key((123456789,), hasher) == ("?#123456789",)
+
+    def test_format_gram_split(self):
+        assert format_gram(("*", "a", "b", "*"), p=2) == "(*,a | b,*)"
+
+
+class TestExplain:
+    def test_explain_lists_most_frequent_first(self, paper_tree_t0):
+        hasher = LabelHasher(keep_reverse_map=True)
+        index = PQGramIndex.from_tree(paper_tree_t0, GramConfig(3, 3), hasher)
+        text = explain_index(index, hasher, limit=3)
+        lines = text.splitlines()
+        assert "13 pq-grams, 12 distinct" in lines[0]
+        # The duplicated (*,a,c | *,*,*) tuple (count 2) leads.
+        assert lines[1].strip().startswith("2 ")
+        assert "and 9 more" in lines[-1]
+
+    def test_explain_without_limit(self, paper_tree_t0):
+        hasher = LabelHasher(keep_reverse_map=True)
+        index = PQGramIndex.from_tree(paper_tree_t0, GramConfig(3, 3), hasher)
+        text = explain_index(index, hasher, limit=None)
+        assert "more distinct" not in text
+
+
+class TestDiff:
+    def test_diff_indexes(self):
+        hasher = LabelHasher()
+        config = GramConfig(2, 2)
+        left = PQGramIndex.from_tree(tree_from_brackets("a(b,c)"), config, hasher)
+        right = PQGramIndex.from_tree(tree_from_brackets("a(b,d)"), config, hasher)
+        only_left, only_right = diff_indexes(left, right)
+        assert only_left and only_right
+        # Shared grams cancel; identical indexes diff to nothing.
+        assert diff_indexes(left, left) == ({}, {})
+        # The surpluses reconcile the two bags exactly.
+        reconciled = left.copy()
+        reconciled.apply_delta(only_left, only_right)
+        assert reconciled == right

@@ -1,0 +1,127 @@
+"""Similarity-join tests: correctness against all-pairs, pruning."""
+
+import pytest
+
+from repro.core import GramConfig, index_distance
+from repro.datasets import dblp_tree
+from repro.edits import Rename, apply_script
+from repro.errors import GramConfigError
+from repro.lookup import ForestIndex, self_join, similarity_join
+from repro.tree import tree_from_brackets
+
+
+def forest_of(trees, config=GramConfig(2, 2)):
+    forest = ForestIndex(config)
+    for tree_id, tree in enumerate(trees):
+        forest.add_tree(tree_id, tree)
+    return forest
+
+
+def all_pairs_join(left, right, tau, self_mode=False):
+    results = []
+    for left_id in left.tree_ids():
+        for right_id in right.tree_ids():
+            if self_mode and left_id >= right_id:
+                continue
+            distance = index_distance(left.index_of(left_id), right.index_of(right_id))
+            if distance < tau:
+                results.append((left_id, right_id, distance))
+    return sorted(results, key=lambda row: row[2])
+
+
+class TestCorrectness:
+    def test_matches_all_pairs_baseline(self):
+        left = forest_of(
+            [
+                tree_from_brackets("a(b,c(d))"),
+                tree_from_brackets("a(b,c(e))"),
+                tree_from_brackets("x(y,z)"),
+            ]
+        )
+        right = forest_of(
+            [
+                tree_from_brackets("a(b,c(d))"),
+                tree_from_brackets("x(y)"),
+            ]
+        )
+        for tau in (0.2, 0.5, 0.9, 1.0):
+            joined, _ = similarity_join(left, right, tau)
+            assert joined == all_pairs_join(left, right, tau)
+
+    def test_self_join_reports_pairs_once(self):
+        forest = forest_of(
+            [
+                tree_from_brackets("a(b,c)"),
+                tree_from_brackets("a(b,c)"),
+                tree_from_brackets("a(b,d)"),
+            ]
+        )
+        joined, _ = self_join(forest, 0.99)
+        pairs = {(left_id, right_id) for left_id, right_id, _ in joined}
+        assert (0, 1) in pairs
+        assert all(left_id < right_id for left_id, right_id in pairs)
+        assert joined == all_pairs_join(forest, forest, 0.99, self_mode=True)
+
+    def test_results_sorted_by_distance(self):
+        forest = forest_of(
+            [tree_from_brackets(text) for text in ("a(b)", "a(b,c)", "a(b,c,d)")]
+        )
+        joined, _ = self_join(forest, 1.0)
+        distances = [distance for _, _, distance in joined]
+        assert distances == sorted(distances)
+
+    def test_config_mismatch_rejected(self):
+        left = forest_of([tree_from_brackets("a")], GramConfig(2, 2))
+        right = forest_of([tree_from_brackets("a")], GramConfig(3, 3))
+        with pytest.raises(GramConfigError):
+            similarity_join(left, right, 0.5)
+
+    def test_bad_tau_rejected(self):
+        forest = forest_of([tree_from_brackets("a")])
+        with pytest.raises(ValueError):
+            similarity_join(forest, forest, 0.0)
+        with pytest.raises(ValueError):
+            similarity_join(forest, forest, 1.5)
+
+
+class TestPruning:
+    def test_disjoint_labels_never_materialized(self):
+        left = forest_of([tree_from_brackets("a(b,c)")])
+        right = forest_of([tree_from_brackets("x(y,z)")])
+        joined, stats = similarity_join(left, right, 0.5)
+        assert joined == []
+        assert stats.candidate_pairs == 0
+        assert stats.size_filtered == 0
+
+    def test_size_filter_skips_extreme_pairs(self):
+        small = tree_from_brackets("a(b)")
+        big = dblp_tree(100, seed=1)
+        big.rename_node(big.children(big.root_id)[0], "a")  # share a label
+        forest = forest_of([small, big], GramConfig(1, 1))
+        joined, stats = self_join(forest, 0.2)
+        assert stats.size_filtered >= 0
+        assert joined == all_pairs_join(forest, forest, 0.2, self_mode=True)
+
+    def test_stats_accounting(self):
+        trees = [dblp_tree(15, seed=s) for s in range(6)]
+        similar, _ = apply_script(
+            trees[0], [Rename(trees[0].children(trees[0].root_id)[0], "misc")]
+        )
+        trees.append(similar)
+        forest = forest_of(trees, GramConfig(3, 3))
+        joined, stats = self_join(forest, 0.6)
+        assert stats.total_pairs == 7 * 6 // 2
+        assert stats.size_filtered + stats.results == stats.candidate_pairs
+        assert stats.results == len(joined)
+        # The planted near-duplicate is found.
+        assert any({left_id, right_id} == {0, 6} for left_id, right_id, _ in joined)
+        assert joined == all_pairs_join(forest, forest, 0.6, self_mode=True)
+
+    def test_allpairs_strategy_agrees(self):
+        from repro.lookup import similarity_join_allpairs
+
+        trees = [dblp_tree(12, seed=s) for s in range(5)]
+        forest = forest_of(trees, GramConfig(2, 2))
+        inverted, _ = self_join(forest, 0.7)
+        dense, _ = similarity_join_allpairs(forest, forest, 0.7)
+        assert inverted == dense

@@ -1,0 +1,159 @@
+"""Relational-algebra layer tests: planning, selection, join, bags."""
+
+import pytest
+
+from repro.relstore import Column, Schema, Table
+from repro.relstore.query import (
+    And,
+    Eq,
+    Plan,
+    Range,
+    group_count,
+    join,
+    plan_select,
+    project,
+    select,
+)
+
+
+def sample_table():
+    table = Table(
+        "t",
+        Schema(
+            [
+                Column("id", int),
+                Column("kind", str),
+                Column("size", int),
+                Column("parent", int, nullable=True),
+            ]
+        ),
+        primary_key=("id",),
+    )
+    table.create_index("by_kind", ("kind",), kind="hash")
+    table.create_index("by_parent_size", ("parent", "size"), kind="sorted")
+    for i in range(20):
+        table.insert(
+            {
+                "id": i,
+                "kind": "even" if i % 2 == 0 else "odd",
+                "size": i * 10,
+                "parent": i % 4,
+            }
+        )
+    return table
+
+
+class TestPlanning:
+    def test_equality_uses_hash_index(self):
+        table = sample_table()
+        plan = plan_select(table, Eq("kind", "even"))
+        assert plan.access == "hash-index"
+        assert plan.index_name == "by_kind"
+
+    def test_prefix_plus_range_uses_sorted_index(self):
+        table = sample_table()
+        plan = plan_select(table, And(Eq("parent", 1), Range("size", 0, 100)))
+        assert plan.access == "sorted-index"
+        assert plan.index_name == "by_parent_size"
+        assert plan.covered == 2
+
+    def test_uncovered_predicate_scans(self):
+        table = sample_table()
+        assert plan_select(table, Eq("size", 50)).access == "scan"
+
+    def test_no_predicate_scans(self):
+        table = sample_table()
+        assert plan_select(table, None).access == "scan"
+
+
+class TestSelection:
+    def test_results_match_scan_filter(self):
+        table = sample_table()
+        for predicate in (
+            None,
+            Eq("kind", "odd"),
+            Eq("size", 50),
+            Range("size", 30, 90),
+            And(Eq("parent", 2), Range("size", 0, 120)),
+            And(Eq("kind", "even"), Eq("parent", 0)),
+        ):
+            got = sorted(select(table, predicate))
+            if predicate is None:
+                expected = sorted(table.scan())
+            else:
+                from repro.relstore.query import _conjuncts, _row_filter
+
+                accept = _row_filter(table, _conjuncts(predicate))
+                expected = sorted(row for row in table.scan() if accept(row))
+            assert got == expected, predicate
+
+    def test_range_excludes_null(self):
+        table = Table(
+            "n",
+            Schema([Column("id", int), Column("v", int, nullable=True)]),
+            primary_key=("id",),
+        )
+        table.insert({"id": 1, "v": None})
+        table.insert({"id": 2, "v": 5})
+        assert select(table, Range("v", 0, 10)) == [(2, 5)]
+
+    def test_unknown_predicate_type_rejected(self):
+        table = sample_table()
+        with pytest.raises(TypeError):
+            select(table, "kind = 'even'")
+
+
+class TestJoinProjectGroup:
+    def test_hash_join_pairs(self):
+        left = sample_table()
+        right = Table(
+            "names",
+            Schema([Column("parent", int), Column("name", str)]),
+            primary_key=("parent",),
+        )
+        for parent in range(4):
+            right.insert({"parent": parent, "name": f"p{parent}"})
+        pairs = list(join(left, right, on=("parent", "parent")))
+        assert len(pairs) == 20  # every left row finds its parent name
+        for left_row, right_row in pairs:
+            assert left_row[3] == right_row[0]
+
+    def test_join_with_predicates(self):
+        left = sample_table()
+        right = sample_table()
+        pairs = list(
+            join(
+                left,
+                right,
+                on=("id", "id"),
+                left_predicate=Eq("kind", "even"),
+                right_predicate=Range("size", 0, 50),
+            )
+        )
+        assert sorted(lr[0][0] for lr in pairs) == [0, 2, 4]
+
+    def test_project_bag_semantics(self):
+        table = sample_table()
+        values = project(table.scan(), table, ("kind",))
+        counts = group_count(values)
+        assert counts[("even",)] == 10
+        assert counts[("odd",)] == 10
+
+    def test_group_count(self):
+        assert group_count(["a", "b", "a"]) == {"a": 2, "b": 1}
+        assert group_count([]) == {}
+
+
+class TestEq31Integration:
+    def test_label_bag_through_algebra(self, paper_tree_t0, hasher):
+        """λ(P, Q) via the algebra equals the profile's label bag."""
+        from repro.core import GramConfig, compute_profile
+        from repro.core.tables import DeltaTables
+
+        config = GramConfig(3, 3)
+        tables = DeltaTables(config)
+        for node_id in paper_tree_t0.node_ids():
+            tables.add_p_row_from_tree(paper_tree_t0, node_id, hasher)
+            tables.add_all_q_rows_from_tree(paper_tree_t0, node_id, hasher)
+        expected = compute_profile(paper_tree_t0, config).label_bag(hasher)
+        assert tables.label_bag() == expected

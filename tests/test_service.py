@@ -1,0 +1,179 @@
+"""Document store tests: durability, WAL recovery, maintenance."""
+
+import os
+
+import pytest
+
+from repro.core import GramConfig, PQGramIndex
+from repro.datasets import dblp_tree, dblp_update_script
+from repro.errors import StorageError
+from repro.edits import Delete, Insert, Rename
+from repro.service import DocumentStore
+from repro.tree import tree_from_brackets
+
+
+@pytest.fixture
+def store_dir(tmp_path):
+    return str(tmp_path / "store")
+
+
+def rebuilt(store, document_id):
+    return PQGramIndex.from_tree(
+        store.get_document(document_id), store.config, store._forest.hasher
+    )
+
+
+class TestBasicOperations:
+    def test_add_get_remove(self, store_dir):
+        store = DocumentStore(store_dir, GramConfig(2, 2))
+        tree = tree_from_brackets("a(b,c)")
+        store.add_document(1, tree)
+        assert 1 in store
+        assert len(store) == 1
+        assert store.get_document(1) == tree
+        store.remove_document(1)
+        assert 1 not in store
+
+    def test_get_document_returns_copy(self, store_dir):
+        store = DocumentStore(store_dir)
+        store.add_document(1, tree_from_brackets("a(b)"))
+        copy = store.get_document(1)
+        copy.add_child(copy.root_id, "z")
+        assert len(store.get_document(1)) == 2
+
+    def test_duplicate_and_missing_ids(self, store_dir):
+        store = DocumentStore(store_dir)
+        store.add_document(1, tree_from_brackets("a"))
+        with pytest.raises(StorageError):
+            store.add_document(1, tree_from_brackets("b"))
+        with pytest.raises(StorageError):
+            store.get_document(2)
+        with pytest.raises(StorageError):
+            store.remove_document(2)
+
+    def test_apply_edits_maintains_index(self, store_dir):
+        store = DocumentStore(store_dir, GramConfig(2, 2))
+        store.add_document(1, tree_from_brackets("a(b,c(d))"))
+        store.apply_edits(1, [Rename(1, "x"), Delete(3)])
+        assert store.get_index(1) == rebuilt(store, 1)
+
+    def test_failing_batch_changes_nothing(self, store_dir):
+        store = DocumentStore(store_dir, GramConfig(2, 2))
+        store.add_document(1, tree_from_brackets("a(b)"))
+        before_doc = store.get_document(1)
+        before_index = store.get_index(1).copy()
+        with pytest.raises(Exception):
+            store.apply_edits(1, [Rename(1, "x"), Delete(999)])
+        assert store.get_document(1) == before_doc
+        assert store.get_index(1) == before_index
+
+    def test_move_batches_through_wal(self, store_dir):
+        """First-class moves flow through the store: applied, logged to
+        the WAL (MOV lines), recovered on reopen."""
+        from repro.edits import Move
+
+        store = DocumentStore(store_dir, GramConfig(2, 2), checkpoint_every=1000)
+        store.add_document(1, tree_from_brackets("r(a(b,c),d(e))"))
+        store.apply_edits(1, [Move(1, 4, 1), Rename(2, "z")])
+        assert store.get_index(1) == rebuilt(store, 1)
+        wal_text = open(os.path.join(store_dir, "wal.log")).read()
+        assert "MOV 1 4 1" in wal_text
+        recovered = DocumentStore(store_dir)
+        assert recovered.get_document(1) == store.get_document(1)
+        assert recovered.get_index(1) == rebuilt(recovered, 1)
+
+    def test_lookup_over_store(self, store_dir):
+        store = DocumentStore(store_dir, GramConfig(3, 3))
+        for document_id in range(4):
+            store.add_document(document_id, dblp_tree(20, seed=document_id))
+        query = dblp_tree(20, seed=2)
+        result = store.lookup(query, tau=0.3)
+        assert result.matches[0] == (2, 0.0)
+
+
+class TestDurability:
+    def test_reopen_restores_documents_and_indexes(self, store_dir):
+        store = DocumentStore(store_dir, GramConfig(2, 3))
+        store.add_document(1, dblp_tree(25, seed=1))
+        store.add_document(2, dblp_tree(25, seed=2))
+        script = dblp_update_script(store.get_document(1), 20, seed=3)
+        store.apply_edits(1, list(script))
+        reopened = DocumentStore(store_dir)
+        assert reopened.config == GramConfig(2, 3)
+        assert len(reopened) == 2
+        assert reopened.get_document(1) == store.get_document(1)
+        assert reopened.get_index(1) == store.get_index(1)
+        assert reopened.get_index(1) == rebuilt(reopened, 1)
+
+    def test_node_ids_survive_reopen(self, store_dir):
+        """WAL operations reference node ids; snapshots must preserve
+        them exactly."""
+        store = DocumentStore(store_dir)
+        tree = dblp_tree(10, seed=4)
+        store.add_document(1, tree)
+        reopened = DocumentStore(store_dir)
+        restored = reopened.get_document(1)
+        assert sorted(restored.node_ids()) == sorted(tree.node_ids())
+        for node_id in tree.node_ids():
+            assert restored.label(node_id) == tree.label(node_id)
+            assert restored.parent(node_id) == tree.parent(node_id)
+
+    def test_wal_batches_recovered_without_checkpoint(self, store_dir):
+        store = DocumentStore(store_dir, checkpoint_every=1000)
+        store.add_document(1, dblp_tree(20, seed=5))
+        document = store.get_document(1)
+        for batch_seed in range(3):
+            script = dblp_update_script(document, 10, seed=batch_seed)
+            store.apply_edits(1, list(script))
+            for operation in script:
+                operation.apply(document)
+        assert os.path.getsize(os.path.join(store_dir, "wal.log")) > 0
+        # Simulate a crash: reopen from disk.
+        recovered = DocumentStore(store_dir)
+        assert recovered.get_document(1) == document
+        assert recovered.get_index(1) == rebuilt(recovered, 1)
+
+    def test_torn_wal_tail_ignored(self, store_dir):
+        store = DocumentStore(store_dir, checkpoint_every=1000)
+        store.add_document(1, tree_from_brackets("a(b)"))
+        store.apply_edits(1, [Rename(1, "x")])
+        expected = store.get_document(1)
+        with open(os.path.join(store_dir, "wal.log"), "a") as handle:
+            handle.write('BEGIN 1 2\nREN 1 "y"\n')  # crash mid-batch
+        recovered = DocumentStore(store_dir)
+        assert recovered.get_document(1) == expected
+
+    def test_checkpoint_truncates_wal(self, store_dir):
+        store = DocumentStore(store_dir, checkpoint_every=2)
+        store.add_document(1, tree_from_brackets("a(b,c)"))
+        store.apply_edits(1, [Rename(1, "x")])
+        assert os.path.getsize(os.path.join(store_dir, "wal.log")) > 0
+        store.apply_edits(1, [Rename(2, "y")])  # triggers checkpoint
+        assert os.path.getsize(os.path.join(store_dir, "wal.log")) == 0
+        recovered = DocumentStore(store_dir)
+        assert recovered.get_index(1) == rebuilt(recovered, 1)
+
+    def test_many_batches_with_periodic_checkpoints(self, store_dir):
+        store = DocumentStore(store_dir, GramConfig(2, 2), checkpoint_every=3)
+        store.add_document(1, dblp_tree(15, seed=6))
+        document = store.get_document(1)
+        for batch_seed in range(8):
+            script = dblp_update_script(document, 6, seed=100 + batch_seed)
+            store.apply_edits(1, list(script))
+            for operation in script:
+                operation.apply(document)
+        recovered = DocumentStore(store_dir)
+        assert recovered.get_document(1) == document
+        assert recovered.get_index(1) == rebuilt(recovered, 1)
+
+    def test_insert_ops_in_wal_respect_id_space(self, store_dir):
+        """Fresh ids allocated after recovery must not clash with ids
+        created by WAL-recovered inserts."""
+        store = DocumentStore(store_dir, checkpoint_every=1000)
+        store.add_document(1, tree_from_brackets("a(b)"))
+        fresh = store.get_document(1).fresh_id()
+        store.apply_edits(1, [Insert(fresh, "new", 0, 1, 0)])
+        recovered = DocumentStore(store_dir)
+        document = recovered.get_document(1)
+        assert fresh in document
+        assert document.fresh_id() > fresh

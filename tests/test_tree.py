@@ -1,0 +1,222 @@
+"""Unit tests for the tree substrate."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateNodeError,
+    InvalidPositionError,
+    TreeError,
+    UnknownNodeError,
+)
+from repro.tree import (
+    Tree,
+    bfs_order,
+    descendants_within,
+    leaves,
+    postorder,
+    preorder,
+    tree_depth,
+    tree_from_brackets,
+    tree_from_nested,
+    tree_to_brackets,
+    tree_to_nested,
+    validate_tree,
+)
+
+
+class TestConstruction:
+    def test_singleton_tree(self):
+        tree = Tree("root")
+        assert len(tree) == 1
+        assert tree.label(tree.root_id) == "root"
+        assert tree.is_leaf(tree.root_id)
+        assert tree.parent(tree.root_id) is None
+
+    def test_add_children_in_order(self):
+        tree = Tree("r")
+        a = tree.add_child(tree.root_id, "a")
+        b = tree.add_child(tree.root_id, "b")
+        c = tree.add_child(tree.root_id, "c", position=1)
+        assert tree.children(tree.root_id) == (c, a, b)
+        assert tree.sibling_position(a) == 2
+        assert tree.child(tree.root_id, 3) == b
+
+    def test_explicit_ids(self):
+        tree = Tree("r", 10)
+        tree.add_child(10, "a", node_id=20)
+        assert 20 in tree
+        assert tree.fresh_id() == 21
+
+    def test_duplicate_id_rejected(self):
+        tree = Tree("r", 1)
+        with pytest.raises(DuplicateNodeError):
+            tree.add_child(1, "a", node_id=1)
+
+    def test_unknown_node_raises(self):
+        tree = Tree("r")
+        with pytest.raises(UnknownNodeError):
+            tree.label(99)
+
+    def test_bad_position_raises(self):
+        tree = Tree("r")
+        with pytest.raises(InvalidPositionError):
+            tree.add_child(tree.root_id, "a", position=3)
+        with pytest.raises(InvalidPositionError):
+            tree.child(tree.root_id, 1)
+
+    def test_from_edges(self):
+        tree = Tree.from_edges((0, "r"), [(0, 1, "a"), (0, 2, "b"), (1, 3, "c")])
+        assert tree_to_brackets(tree) == "r(a(c),b)"
+
+
+class TestStructuralEdits:
+    def test_insert_leaf(self):
+        tree = tree_from_brackets("r(a,b)")
+        tree.insert_node(99, "x", tree.root_id, 2, 1)
+        assert tree_to_brackets(tree) == "r(a,x,b)"
+        assert tree.sibling_position(99) == 2
+
+    def test_insert_adopting_range(self):
+        tree = tree_from_brackets("r(a,b,c,d)")
+        tree.insert_node(99, "x", tree.root_id, 2, 3)
+        assert tree_to_brackets(tree) == "r(a,x(b,c),d)"
+        b = tree.children(99)[0]
+        assert tree.parent(b) == 99
+
+    def test_insert_invalid_range(self):
+        tree = tree_from_brackets("r(a)")
+        with pytest.raises(InvalidPositionError):
+            tree.insert_node(99, "x", tree.root_id, 1, 2)
+        with pytest.raises(InvalidPositionError):
+            tree.insert_node(98, "x", tree.root_id, 3, 2)
+
+    def test_delete_splices_children(self):
+        tree = tree_from_brackets("r(a(b,c),d)")
+        a = tree.children(tree.root_id)[0]
+        tree.delete_node(a)
+        assert tree_to_brackets(tree) == "r(b,c,d)"
+
+    def test_delete_root_rejected(self):
+        tree = Tree("r")
+        with pytest.raises(TreeError):
+            tree.delete_node(tree.root_id)
+
+    def test_rename(self):
+        tree = tree_from_brackets("r(a)")
+        child = tree.children(tree.root_id)[0]
+        tree.rename_node(child, "z")
+        assert tree.label(child) == "z"
+
+    def test_insert_then_delete_roundtrip(self):
+        tree = tree_from_brackets("r(a,b,c)")
+        before = tree.structural_key()
+        tree.insert_node(99, "x", tree.root_id, 2, 3)
+        tree.delete_node(99)
+        assert tree.structural_key() == before
+
+
+class TestQueries:
+    def test_ancestors_with_padding(self):
+        tree = tree_from_brackets("a(b(c(d)))")
+        d = 3
+        assert tree.ancestors(d, 5) == [2, 1, 0, None, None]
+        assert tree.ancestors(tree.root_id, 2) == [None, None]
+
+    def test_depth(self):
+        tree = tree_from_brackets("a(b(c),d)")
+        assert tree.depth(tree.root_id) == 0
+        assert tree.depth(2) == 2
+
+    def test_child_slice_padding(self):
+        tree = tree_from_brackets("r(a,b,c)")
+        kids = tree.children(tree.root_id)
+        assert tree.child_slice(tree.root_id, 0, 4) == [
+            None, kids[0], kids[1], kids[2], None,
+        ]
+
+    def test_subtree_ids_preorder(self):
+        tree = tree_from_brackets("r(a(b,c),d)")
+        assert tree.subtree_ids(1) == [1, 2, 3]
+
+    def test_copy_is_independent(self):
+        tree = tree_from_brackets("r(a)")
+        clone = tree.copy()
+        clone.add_child(clone.root_id, "z")
+        assert len(tree) == 2
+        assert len(clone) == 3
+        assert tree != clone
+
+    def test_equality_is_structural(self):
+        left = tree_from_brackets("r(a,b)")
+        right = tree_from_brackets("r(a,b)")
+        assert left == right
+        right.rename_node(1, "x")
+        assert left != right
+
+
+class TestTraversals:
+    def test_preorder(self):
+        tree = tree_from_brackets("r(a(b,c),d)")
+        assert [tree.label(n) for n in preorder(tree)] == ["r", "a", "b", "c", "d"]
+
+    def test_postorder(self):
+        tree = tree_from_brackets("r(a(b,c),d)")
+        assert [tree.label(n) for n in postorder(tree)] == ["b", "c", "a", "d", "r"]
+
+    def test_bfs(self):
+        tree = tree_from_brackets("r(a(b,c),d)")
+        assert [tree.label(n) for n in bfs_order(tree)] == ["r", "a", "d", "b", "c"]
+
+    def test_descendants_within(self):
+        tree = tree_from_brackets("r(a(b(c)),d)")
+        assert set(descendants_within(tree, tree.root_id, 0)) == {tree.root_id}
+        assert set(descendants_within(tree, tree.root_id, 1)) == {0, 1, 4}
+        assert set(descendants_within(tree, tree.root_id, 2)) == {0, 1, 2, 4}
+        assert descendants_within(tree, tree.root_id, -1) == []
+
+    def test_leaves_and_depth(self):
+        tree = tree_from_brackets("r(a(b),c)")
+        assert [tree.label(n) for n in leaves(tree)] == ["b", "c"]
+        assert tree_depth(tree) == 2
+
+
+class TestBuilders:
+    def test_brackets_roundtrip(self):
+        for text in ("a", "a(b)", "a(b,c(d,e),f)", 'a("x,y"(b))'):
+            tree = tree_from_brackets(text)
+            assert tree_to_brackets(tree) == text
+
+    def test_quoted_labels_escape(self):
+        tree = Tree('we"ird')
+        tree.add_child(tree.root_id, "with(parens)")
+        text = tree_to_brackets(tree)
+        back = tree_from_brackets(text)
+        assert back.label(back.root_id) == 'we"ird'
+        assert back.label(1) == "with(parens)"
+
+    def test_nested_roundtrip(self):
+        spec = ("a", [("b", []), ("c", [("d", [])])])
+        tree = tree_from_nested(spec)
+        assert tree_to_nested(tree) == spec
+
+    def test_parse_errors(self):
+        for bad in ("", "a(", "a(b", "a()", "a(b))", "a(,b)"):
+            with pytest.raises(TreeError):
+                tree_from_brackets(bad)
+
+
+class TestValidation:
+    def test_valid_tree_passes(self):
+        validate_tree(tree_from_brackets("a(b(c),d)"))
+
+    def test_broken_parent_link_detected(self):
+        tree = tree_from_brackets("a(b,c)")
+        tree._records[2].parent = 1  # corrupt on purpose
+        with pytest.raises(TreeError):
+            validate_tree(tree)
+
+    def test_unreachable_node_detected(self):
+        tree = tree_from_brackets("a(b)")
+        tree._records[99] = type(tree._records[0])("orphan", None)
+        with pytest.raises(TreeError):
+            validate_tree(tree)

@@ -1,0 +1,60 @@
+"""Subtree fingerprint tests."""
+
+from hypothesis import given, settings
+
+from repro.tree import (
+    subtree_fingerprints,
+    tree_fingerprint,
+    tree_from_brackets,
+    tree_to_brackets,
+)
+
+from tests.conftest import trees
+
+
+class TestBasics:
+    def test_equal_structures_equal_fingerprints(self):
+        left = tree_from_brackets("a(b(c),d)")
+        right = tree_from_brackets("a(b(c),d)")
+        assert tree_fingerprint(left) == tree_fingerprint(right)
+
+    def test_label_change_changes_fingerprint(self):
+        left = tree_from_brackets("a(b)")
+        right = tree_from_brackets("a(c)")
+        assert tree_fingerprint(left) != tree_fingerprint(right)
+
+    def test_parent_child_swap_distinct(self):
+        """The Karp–Rabin linear fold collided on exactly this pair;
+        the BLAKE2 mixer must not."""
+        assert tree_fingerprint(tree_from_brackets("a(b)")) != tree_fingerprint(
+            tree_from_brackets("b(a)")
+        )
+
+    def test_sibling_order_matters(self):
+        assert tree_fingerprint(tree_from_brackets("a(b,c)")) != tree_fingerprint(
+            tree_from_brackets("a(c,b)")
+        )
+
+    def test_shape_matters(self):
+        assert tree_fingerprint(tree_from_brackets("a(b,c)")) != tree_fingerprint(
+            tree_from_brackets("a(b(c))")
+        )
+
+    def test_every_node_fingerprinted(self):
+        tree = tree_from_brackets("a(b(c),d)")
+        fingerprints = subtree_fingerprints(tree)
+        assert set(fingerprints) == set(tree.node_ids())
+
+    def test_equal_subtrees_share_fingerprints(self):
+        tree = tree_from_brackets("a(x(y),x(y))")
+        fingerprints = subtree_fingerprints(tree)
+        children = tree.children(tree.root_id)
+        assert fingerprints[children[0]] == fingerprints[children[1]]
+
+
+@settings(max_examples=80)
+@given(trees(max_size=20), trees(max_size=20))
+def test_fingerprint_equality_iff_structure_equality(left, right):
+    same_structure = tree_to_brackets(left) == tree_to_brackets(right)
+    same_fingerprint = tree_fingerprint(left) == tree_fingerprint(right)
+    assert same_structure == same_fingerprint

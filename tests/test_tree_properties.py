@@ -1,0 +1,68 @@
+"""Property-based tests for the tree substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.edits.script import apply_script, undo_log
+from repro.tree import (
+    preorder,
+    postorder,
+    tree_from_brackets,
+    tree_to_brackets,
+    validate_tree,
+)
+
+from tests.conftest import trees, trees_with_scripts
+
+
+@given(trees())
+def test_generated_trees_are_valid(tree):
+    validate_tree(tree)
+
+
+@given(trees())
+def test_brackets_roundtrip_preserves_structure(tree):
+    text = tree_to_brackets(tree)
+    back = tree_from_brackets(text)
+    assert tree_to_brackets(back) == text
+    assert len(back) == len(tree)
+
+
+@given(trees())
+def test_traversals_cover_all_nodes_once(tree):
+    pre = list(preorder(tree))
+    post = list(postorder(tree))
+    assert sorted(pre) == sorted(tree.node_ids())
+    assert sorted(post) == sorted(pre)
+    # Preorder: every node precedes its descendants.
+    position = {node: i for i, node in enumerate(pre)}
+    for node in pre:
+        parent = tree.parent(node)
+        if parent is not None:
+            assert position[parent] < position[node]
+
+
+@given(trees())
+def test_sibling_positions_consistent(tree):
+    for node in tree.node_ids():
+        for position, child in enumerate(tree.children(node), start=1):
+            assert tree.sibling_position(child) == position
+            assert tree.child(node, position) == child
+
+
+@settings(max_examples=60)
+@given(trees_with_scripts())
+def test_apply_then_undo_restores_tree(tree_and_script):
+    tree, script = tree_and_script
+    edited, log = apply_script(tree, script)
+    validate_tree(edited)
+    assert undo_log(edited, log) == tree
+
+
+@settings(max_examples=60)
+@given(trees_with_scripts())
+def test_edit_scripts_preserve_root(tree_and_script):
+    tree, script = tree_and_script
+    edited, _ = apply_script(tree, script)
+    assert edited.root_id == tree.root_id
+    assert edited.label(edited.root_id) == tree.label(tree.root_id)

@@ -1,0 +1,81 @@
+"""Streaming index construction must equal the DOM path exactly."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import GramConfig, PQGramIndex
+from repro.errors import XmlError
+from repro.hashing import LabelHasher
+from repro.xmlio import parse_xml, write_xml
+from repro.xmlio.stream import stream_index_xml
+
+from tests.conftest import gram_configs, trees
+
+
+def dom_index(text, config):
+    return PQGramIndex.from_tree(parse_xml(text), config, LabelHasher())
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "<a/>",
+            "<a><b/></a>",
+            "<a><b/><c/><d/></a>",
+            "<a>text only</a>",
+            "<a><b>x</b>mid<c/>tail</a>",
+            '<a k="v" j="w"><b/></a>',
+            "<a><b><c><d><e/></d></c></b></a>",
+            '<dblp><article key="x"><author>A. B.</author><title>T</title></article></dblp>',
+        ],
+    )
+    @pytest.mark.parametrize("p,q", [(1, 1), (1, 3), (2, 2), (3, 3), (4, 2)])
+    def test_documents(self, text, p, q):
+        config = GramConfig(p, q)
+        assert stream_index_xml(text, config, LabelHasher()) == dom_index(
+            text, config
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(trees(max_size=25), gram_configs())
+    def test_arbitrary_trees(self, tree, config):
+        text = write_xml(tree)
+        assert stream_index_xml(text, config, LabelHasher()) == dom_index(
+            text, config
+        )
+
+    def test_wide_fanout(self):
+        text = "<r>" + "".join(f"<c{i % 7}/>" for i in range(500)) + "</r>"
+        config = GramConfig(2, 3)
+        assert stream_index_xml(text, config, LabelHasher()) == dom_index(
+            text, config
+        )
+
+    def test_deep_nesting(self):
+        depth = 300
+        text = "".join(f"<n{i % 5}>" for i in range(depth)) + "x" + "".join(
+            f"</n{i % 5}>" for i in reversed(range(depth))
+        )
+        config = GramConfig(4, 2)
+        assert stream_index_xml(text, config, LabelHasher()) == dom_index(
+            text, config
+        )
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        ["<a/><b/>", "text<a/>", "<a><b></a></b>"[:9], "", "<a>"],
+    )
+    def test_malformed_documents_rejected(self, bad):
+        with pytest.raises(XmlError):
+            stream_index_xml(bad, GramConfig(2, 2), LabelHasher())
+
+    def test_comments_and_pis_ignored(self):
+        with_noise = "<?xml version=\"1.0\"?><a><!-- hi --><b/></a>"
+        without = "<a><b/></a>"
+        config = GramConfig(2, 2)
+        assert stream_index_xml(with_noise, config, LabelHasher()) == (
+            stream_index_xml(without, config, LabelHasher())
+        )

@@ -1,0 +1,130 @@
+"""XML tokenizer, parser and writer tests."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import XmlError
+from repro.tree import tree_to_brackets, validate_tree
+from repro.xmlio import TokenKind, parse_xml, tokenize, write_xml
+
+from tests.conftest import trees
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = list(tokenize('<a x="1"><b>text</b><c/></a>'))
+        kinds = [token.kind for token in tokens]
+        assert kinds == [
+            TokenKind.OPEN,
+            TokenKind.OPEN,
+            TokenKind.TEXT,
+            TokenKind.CLOSE,
+            TokenKind.SELF_CLOSING,
+            TokenKind.CLOSE,
+        ]
+        assert tokens[0].attributes == {"x": "1"}
+
+    def test_entities_resolved(self):
+        tokens = list(tokenize("<a>&lt;&amp;&gt;&quot;&apos;&#65;&#x42;</a>"))
+        assert tokens[1].value == "<&>\"'AB"
+
+    def test_comments_pi_cdata(self):
+        text = "<?xml version=\"1.0\"?><a><!-- note --><![CDATA[<raw>]]></a>"
+        kinds = [token.kind for token in tokenize(text)]
+        assert kinds == [
+            TokenKind.PI,
+            TokenKind.OPEN,
+            TokenKind.COMMENT,
+            TokenKind.CDATA,
+            TokenKind.CLOSE,
+        ]
+
+    def test_doctype_skipped(self):
+        tokens = list(tokenize("<!DOCTYPE dblp SYSTEM \"dblp.dtd\"><dblp/>"))
+        assert [token.kind for token in tokens] == [TokenKind.SELF_CLOSING]
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "<a", "<a b=1></a>", "<a b='x></a>", "<a>&unknown;</a>",
+            "<!-- never closed", "<![CDATA[open", "<?pi",
+        ],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(XmlError):
+            list(tokenize(bad))
+
+
+class TestParser:
+    def test_element_tree_shape(self):
+        tree = parse_xml("<a><b>t</b><c/></a>")
+        assert tree_to_brackets(tree) == "a(b(t),c)"
+
+    def test_attributes_become_children(self):
+        tree = parse_xml('<a x="1" y="2"/>')
+        labels = [tree.label(child) for child in tree.children(tree.root_id)]
+        assert labels == ["@x", "@y"]
+        x = tree.children(tree.root_id)[0]
+        assert tree.label(tree.children(x)[0]) == "1"
+
+    def test_mismatched_tags_rejected(self):
+        with pytest.raises(XmlError):
+            parse_xml("<a><b></a></b>")
+
+    def test_multiple_roots_rejected(self):
+        with pytest.raises(XmlError):
+            parse_xml("<a/><b/>")
+
+    def test_unclosed_rejected(self):
+        with pytest.raises(XmlError):
+            parse_xml("<a><b>")
+
+    def test_text_outside_root_rejected(self):
+        with pytest.raises(XmlError):
+            parse_xml("hello<a/>")
+
+    def test_empty_document_rejected(self):
+        with pytest.raises(XmlError):
+            parse_xml("  ")
+
+
+class TestWriter:
+    def test_roundtrip_with_attributes_and_text(self):
+        source = '<a x="1"><b>hi &amp; bye</b><c/></a>'
+        tree = parse_xml(source)
+        assert parse_xml(write_xml(tree)) == tree
+
+    def test_escaping(self):
+        tree = parse_xml("<a>x &lt; y &amp; z</a>")
+        written = write_xml(tree)
+        assert "&lt;" in written and "&amp;" in written
+        assert parse_xml(written) == tree
+
+    def test_pretty_printing_parses_back(self):
+        tree = parse_xml("<a><b><c>deep</c></b><d/></a>")
+        pretty = write_xml(tree, indent=2)
+        assert "\n" in pretty
+        reparsed = parse_xml(pretty)
+        # Pretty printing only adds ignorable whitespace.
+        assert tree_to_brackets(reparsed) == tree_to_brackets(tree)
+
+    def test_attribute_node_shape_enforced(self):
+        from repro.tree import Tree
+
+        tree = Tree("a")
+        tree.add_child(tree.root_id, "@x")  # no value child
+        with pytest.raises(XmlError):
+            write_xml(tree)
+
+
+@settings(max_examples=40)
+@given(trees(max_size=30))
+def test_arbitrary_trees_roundtrip_as_xml(tree):
+    # Any tree whose labels are XML-safe names round-trips through the
+    # writer and parser.  The parser assigns fresh document-order ids,
+    # so the comparison is on label structure.
+    validate_tree(tree)
+    reparsed = parse_xml(write_xml(tree))
+    assert tree_to_brackets(reparsed) == tree_to_brackets(tree)
+    # A second round trip is a fixpoint (ids now in document order).
+    assert parse_xml(write_xml(reparsed)) == reparsed
