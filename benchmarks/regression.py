@@ -1,0 +1,135 @@
+"""Performance-regression gate for the two Fig. 13 workloads.
+
+Runs the lookup bench (tree counts 16/64/256 under a shared node
+budget) and the incremental-update bench (fixed log over growing
+trees) at small scale, writes machine-readable results to
+``benchmarks/results/BENCH_lookup.json`` / ``BENCH_update.json``, and
+exits non-zero when any measured wall time regresses more than
+``TOLERANCE``× against the checked-in baseline::
+
+    PYTHONPATH=src python benchmarks/regression.py            # gate
+    PYTHONPATH=src python benchmarks/regression.py --rebaseline
+
+``--rebaseline`` rewrites ``benchmarks/regression_baseline.json`` from
+the current run (do this deliberately, on a quiet machine).  The 2×
+tolerance absorbs machine-to-machine and load jitter; a real
+regression (an accidentally quadratic sweep, a dropped cache) blows
+straight through it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from typing import Dict
+
+sys.path.insert(0, __file__.rsplit("/", 1)[0])
+from conftest import results_path, wall_time
+
+from repro.core import GramConfig, PQGramIndex, update_index_replay
+from repro.datasets import dblp_tree, dblp_update_script, xmark_tree
+from repro.edits import apply_script
+from repro.hashing import LabelHasher
+from repro.lookup import ForestIndex, LookupService
+
+BASELINE_PATH = os.path.join(
+    os.path.dirname(__file__), "regression_baseline.json"
+)
+TOLERANCE = 2.0
+
+LOOKUP_BUDGET = 60_000
+LOOKUP_TREE_COUNTS = (16, 64, 256)
+LOOKUP_TAU = 0.8
+UPDATE_TREE_SIZES = (2_000, 8_000)
+UPDATE_LOG_SIZE = 20
+CONFIG = GramConfig(3, 3)
+
+
+def measure_lookup() -> Dict[str, float]:
+    """Best-of-3 indexed lookup wall time (ms) per collection size."""
+    times: Dict[str, float] = {}
+    for tree_count in LOOKUP_TREE_COUNTS:
+        per_tree = LOOKUP_BUDGET // tree_count
+        collection = [
+            (tree_id, xmark_tree(per_tree, seed=1000 * tree_count + tree_id))
+            for tree_id in range(tree_count)
+        ]
+        forest = ForestIndex(CONFIG)
+        forest.add_trees(collection)
+        service = LookupService(forest)
+        query = collection[tree_count // 2][1]
+        service.lookup(query, LOOKUP_TAU)  # warm: compact + query cache
+        times[f"lookup_trees_{tree_count}_ms"] = wall_time(
+            lambda: service.lookup(query, LOOKUP_TAU), repeats=3
+        ) * 1e3
+    return times
+
+
+def measure_update() -> Dict[str, float]:
+    """Best-of-3 incremental-update wall time (ms) per tree size."""
+    times: Dict[str, float] = {}
+    for node_budget in UPDATE_TREE_SIZES:
+        tree = dblp_tree(node_budget // 11, seed=node_budget)
+        hasher = LabelHasher()
+        old_index = PQGramIndex.from_tree(tree, CONFIG, hasher)
+        script = dblp_update_script(tree, UPDATE_LOG_SIZE, seed=7, stable=True)
+        edited, log = apply_script(tree, script)
+        times[f"update_nodes_{node_budget}_ms"] = wall_time(
+            lambda: update_index_replay(old_index, edited, log, hasher),
+            repeats=3,
+        ) * 1e3
+    return times
+
+
+def run(rebaseline: bool) -> int:
+    lookup = measure_lookup()
+    update = measure_update()
+    for name, payload in (
+        ("BENCH_lookup.json", lookup),
+        ("BENCH_update.json", update),
+    ):
+        with open(results_path(name), "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    current = {**lookup, **update}
+
+    if rebaseline or not os.path.exists(BASELINE_PATH):
+        with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
+            json.dump(current, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"baseline written to {BASELINE_PATH}")
+        for key in sorted(current):
+            print(f"  {key}: {current[key]:.3f} ms")
+        return 0
+
+    with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures = []
+    for key in sorted(baseline):
+        reference = baseline[key]
+        measured = current.get(key)
+        if measured is None:
+            failures.append(f"{key}: missing from current run")
+            continue
+        verdict = "ok"
+        if measured > TOLERANCE * reference:
+            verdict = f"REGRESSION (> {TOLERANCE:.0f}x)"
+            failures.append(
+                f"{key}: {measured:.3f} ms vs baseline {reference:.3f} ms"
+            )
+        print(
+            f"  {key}: {measured:.3f} ms "
+            f"(baseline {reference:.3f} ms) {verdict}"
+        )
+    if failures:
+        print("\nregression gate FAILED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("\nregression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run(rebaseline="--rebaseline" in sys.argv[1:]))

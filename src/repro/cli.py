@@ -86,6 +86,24 @@ def _build_parser() -> argparse.ArgumentParser:
     add_parser.add_argument("doc_id", type=int)
     add_parser.add_argument("file")
 
+    bulk_parser = store_commands.add_parser(
+        "bulk", help="add many XML documents in one batch"
+    )
+    bulk_parser.add_argument("files", nargs="+", help="XML documents")
+    bulk_parser.add_argument(
+        "--start-id",
+        type=int,
+        default=None,
+        help="id of the first document (default: first free id)",
+    )
+    bulk_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="build the pq-gram indexes with N worker processes",
+    )
+
     edit_parser = store_commands.add_parser(
         "edit", help="apply an edit-log file to a document"
     )
@@ -165,6 +183,20 @@ def _command_store(arguments: argparse.Namespace) -> int:
     if arguments.store_command == "add":
         store.add_document(arguments.doc_id, tree_from_xml(arguments.file))
         print(f"added document {arguments.doc_id}")
+    elif arguments.store_command == "bulk":
+        start_id = arguments.start_id
+        if start_id is None:
+            start_id = max(store.document_ids(), default=-1) + 1
+        items = [
+            (start_id + offset, tree_from_xml(path))
+            for offset, path in enumerate(arguments.files)
+        ]
+        store.add_documents(items, jobs=arguments.jobs)
+        print(
+            f"added {len(items)} document(s) "
+            f"(ids {start_id}..{start_id + len(items) - 1}, "
+            f"jobs={arguments.jobs})"
+        )
     elif arguments.store_command == "edit":
         with open(arguments.log_file, "r", encoding="utf-8") as handle:
             operations = parse_operations(handle.read())

@@ -27,11 +27,13 @@ from repro.core.delta import delta_into_tables
 from repro.core.update import apply_update
 from repro.core.localdelta import delta_label_bag
 from repro.core.stability import is_address_stable
+from repro.core.distance import distance_from_overlap, size_bound_admits
 from repro.core.maintain import (
     MaintenanceTimings,
     ReplayTimings,
     update_index,
     update_index_replay,
+    update_index_replay_delta,
     update_index_replay_timed,
     update_index_tablewise,
     update_index_timed,
@@ -47,6 +49,8 @@ __all__ = [
     "index_of_tree",
     "pq_gram_distance",
     "index_distance",
+    "distance_from_overlap",
+    "size_bound_admits",
     "DeltaTables",
     "delta_into_tables",
     "apply_update",
@@ -54,6 +58,7 @@ __all__ = [
     "is_address_stable",
     "update_index",
     "update_index_replay",
+    "update_index_replay_delta",
     "update_index_replay_timed",
     "update_index_tablewise",
     "update_index_timed",

@@ -19,8 +19,55 @@ from repro.hashing.labelhash import LabelHasher
 from repro.tree.tree import Tree
 
 
-def index_distance(left: PQGramIndex, right: PQGramIndex) -> float:
-    """pq-gram distance between two prebuilt indexes."""
+def distance_from_overlap(shared: int, union: int) -> float:
+    """pq-gram distance from ``|I ∩ I'|`` and ``|I ⊎ I'|``.
+
+    This is *the* distance expression of the whole code base: every
+    path that turns an accumulated bag overlap into a distance (pairwise
+    compare, forest sweep, similarity join) must go through it so that
+    pruned and unpruned paths agree bit for bit.
+    """
+    if union == 0:
+        return 0.0
+    return 1.0 - 2.0 * shared / union
+
+
+def size_bound_admits(left_size: int, right_size: int, tau: float) -> bool:
+    """Candidate filter from bag sizes alone.
+
+    ``dist < τ`` needs ``|I ∩ I'| > (1-τ)/2 · (|I| + |I'|)`` and the
+    overlap is at most ``min(|I|, |I'|)``, so a pair whose *best
+    possible* distance already reaches τ can be discarded before its
+    overlap is even looked at.  The bound is evaluated with exactly the
+    float expression of :func:`distance_from_overlap` — which is
+    monotone in the overlap under IEEE rounding — so pruning can never
+    disagree with the final ``distance < tau`` comparison.
+    """
+    return distance_from_overlap(
+        min(left_size, right_size), left_size + right_size
+    ) < tau
+
+
+def index_distance(
+    left: PQGramIndex, right: PQGramIndex, backend: str = "auto"
+) -> float:
+    """pq-gram distance between two prebuilt indexes.
+
+    ``backend`` selects how the bag intersection is computed:
+
+    - ``"dict"`` — the reference hash-bag path;
+    - ``"array"`` — merge over the sorted fingerprint arrays of
+      :meth:`~repro.core.index.PQGramIndex.as_array_bag` (built and
+      cached on first use);
+    - ``"auto"`` (default) — the array path iff both indexes already
+      carry a cached array bag, the dict path otherwise.
+
+    Both backends return identical distances (the array form is keyed
+    by combined Karp–Rabin fingerprints, exact up to the same collision
+    probability the persistent index itself relies on).
+    """
+    if backend not in ("auto", "dict", "array"):
+        raise ValueError(f"unknown index_distance backend: {backend!r}")
     if left.config != right.config:
         raise GramConfigError(
             f"cannot compare a {left.config} index with a {right.config} index"
@@ -28,8 +75,13 @@ def index_distance(left: PQGramIndex, right: PQGramIndex) -> float:
     union = left.bag_union_size(right)
     if union == 0:
         return 0.0
-    intersection = left.bag_intersection_size(right)
-    return 1.0 - 2.0 * intersection / union
+    if backend == "array" or (
+        backend == "auto" and left.has_array_bag() and right.has_array_bag()
+    ):
+        intersection = left.as_array_bag().intersection_size(right.as_array_bag())
+    else:
+        intersection = left.bag_intersection_size(right)
+    return distance_from_overlap(intersection, union)
 
 
 def pq_gram_distance(

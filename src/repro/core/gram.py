@@ -19,7 +19,7 @@ from repro.hashing.labelhash import LabelHasher, NULL_HASH
 from repro.tree.node import Node
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PQGram:
     """One pq-gram: ``nodes`` = p-part followed by q-part."""
 

@@ -28,6 +28,8 @@ class PQGramIndex:
     def __init__(self, config: GramConfig, counts: Optional[Mapping[Key, int]] = None) -> None:
         self.config = config
         self._counts: Bag = dict(counts or {})
+        self._total = sum(self._counts.values())
+        self._array_bag = None  # lazy sorted-array form (repro.perf)
 
     # ------------------------------------------------------------------
     # construction
@@ -61,8 +63,9 @@ class PQGramIndex:
         return iter(self._counts.items())
 
     def size(self) -> int:
-        """|I|: total number of pq-grams (bag cardinality)."""
-        return sum(self._counts.values())
+        """|I|: total number of pq-grams (bag cardinality); O(1), the
+        total is maintained across :meth:`apply_delta`."""
+        return self._total
 
     def distinct_size(self) -> int:
         """Number of distinct label tuples (rows of the stored relation)."""
@@ -116,9 +119,34 @@ class PQGramIndex:
                 del self._counts[key]
             else:
                 self._counts[key] = current - count
+            self._total -= count
         for key, count in plus.items():
             if count:
                 self._counts[key] = self._counts.get(key, 0) + count
+                self._total += count
+        self._array_bag = None  # the sorted-array form is stale now
+
+    # ------------------------------------------------------------------
+    # array-backed form (repro.perf.arraybag)
+    # ------------------------------------------------------------------
+
+    def has_array_bag(self) -> bool:
+        """Whether the sorted-array form is already built and fresh."""
+        return self._array_bag is not None
+
+    def as_array_bag(self):
+        """The sorted-array ``(fingerprint, cnt)`` form of this bag,
+        built lazily and cached until the next :meth:`apply_delta`.
+
+        Enables the merge-based intersection of
+        :class:`repro.perf.arraybag.ArrayBag`; the dict bag stays the
+        reference representation.
+        """
+        if self._array_bag is None:
+            from repro.perf.arraybag import ArrayBag
+
+            self._array_bag = ArrayBag.from_index(self)
+        return self._array_bag
 
     # ------------------------------------------------------------------
     # persistence

@@ -221,6 +221,53 @@ def update_index_replay_timed(
     return new_index, timings
 
 
+def update_index_replay_delta(
+    old_index: PQGramIndex,
+    tree: Tree,
+    log: Sequence[EditOperation],
+    hasher: LabelHasher,
+) -> Tuple[PQGramIndex, Bag, Bag]:
+    """The replay engine, also returning the folded-in delta bags.
+
+    Returns ``(new_index, minus, plus)`` where ``minus`` / ``plus`` are
+    the net label-tuple bags actually applied (``I_n = I_0 ∖ minus ⊎
+    plus``; the two have disjoint keys).  Their key set is exactly the
+    set of tuples whose multiplicity changed, which lets callers that
+    mirror the index — e.g. the forest's inverted lists — re-invert
+    only O(|Δ|) keys instead of the whole bag.
+    """
+    from repro.core.localdelta import delta_label_bag
+
+    config = old_index.config
+    signed: Dict[Tuple[int, ...], int] = {}
+    forward_ops: list[EditOperation] = []
+    try:
+        for inverse_op in reversed(list(log)):
+            plus_bag = delta_label_bag(tree, inverse_op, config, hasher)
+            forward_op = inverse_op.inverse(tree)
+            inverse_op.apply(tree)
+            forward_ops.append(forward_op)
+            minus_bag = delta_label_bag(tree, forward_op, config, hasher)
+            for key, count in plus_bag.items():
+                signed[key] = signed.get(key, 0) + count
+            for key, count in minus_bag.items():
+                signed[key] = signed.get(key, 0) - count
+    finally:
+        for forward_op in reversed(forward_ops):
+            forward_op.apply(tree)
+
+    plus: Bag = {}
+    minus: Bag = {}
+    for key, count in signed.items():
+        if count > 0:
+            plus[key] = count
+        elif count < 0:
+            minus[key] = -count
+    new_index = old_index.copy()
+    new_index.apply_delta(minus, plus)
+    return new_index, minus, plus
+
+
 def update_index_replay(
     old_index: PQGramIndex,
     tree: Tree,
@@ -228,7 +275,7 @@ def update_index_replay(
     hasher: Optional[LabelHasher] = None,
 ) -> PQGramIndex:
     """The replay engine (see :func:`update_index_replay_timed`)."""
-    new_index, _ = update_index_replay_timed(
+    new_index, _, _ = update_index_replay_delta(
         old_index, tree, log, hasher or LabelHasher()
     )
     return new_index

@@ -30,7 +30,7 @@ from repro.errors import EditError, RootEditError
 from repro.tree.tree import Tree
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Move:
     """MOV(n, v, k): move the subtree rooted at ``node_id`` to become
     the k-th child of ``parent_id``.

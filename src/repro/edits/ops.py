@@ -17,7 +17,7 @@ from repro.errors import EditError, RootEditError
 from repro.tree.tree import Tree
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Insert:
     """INS(n, v, k, m): insert ``node_id`` with ``label`` as the k-th
     child of ``parent_id``; the former children k..m of the parent move
@@ -59,7 +59,7 @@ class Insert:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Delete:
     """DEL(n): remove ``node_id``, splicing its children into its
     place among its siblings."""
@@ -96,7 +96,7 @@ class Delete:
         return f"DEL({self.node_id})"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Rename:
     """REN(n, l'): change the node's label to ``label``; the paper
     requires the new label to differ from the current one."""

@@ -11,11 +11,12 @@ distinct pq-grams.
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.core.config import GramConfig
+from repro.core.distance import distance_from_overlap, size_bound_admits
 from repro.core.index import Bag, PQGramIndex
-from repro.core.maintain import update_index_replay
+from repro.core.maintain import update_index_replay_delta
 from repro.edits.ops import EditOperation
 from repro.errors import StorageError
 from repro.hashing.labelhash import LabelHasher
@@ -34,6 +35,8 @@ class ForestIndex:
         self.hasher = LabelHasher()
         self._indexes: Dict[int, PQGramIndex] = {}
         self._inverted: Dict[Key, Dict[int, int]] = {}
+        self._sizes: Dict[int, int] = {}   # tree id → |I| (lookup pruning)
+        self._compact = None               # CompactPostings snapshot or None
 
     # ------------------------------------------------------------------
     # building and maintaining
@@ -43,15 +46,43 @@ class ForestIndex:
         """Index a new tree of the forest."""
         if tree_id in self._indexes:
             raise StorageError(f"tree id {tree_id} is already indexed")
-        index = PQGramIndex.from_tree(tree, self.config, self.hasher)
-        self._indexes[tree_id] = index
-        self._invert(tree_id, index)
+        self._insert(tree_id, PQGramIndex.from_tree(tree, self.config, self.hasher))
+
+    def add_trees(
+        self, items: Iterable[Tuple[int, Tree]], jobs: Optional[int] = None
+    ) -> None:
+        """Index a batch of trees, optionally in parallel.
+
+        ``jobs`` > 1 fans the per-tree bag construction out over worker
+        processes (``repro.perf.parallel``) and merges the workers'
+        label memos back into this forest's hasher; ``jobs`` of None or
+        1 runs the plain serial loop.  Results are identical either
+        way.
+        """
+        items = list(items)
+        for tree_id, _ in items:
+            if tree_id in self._indexes:
+                raise StorageError(f"tree id {tree_id} is already indexed")
+        if jobs is not None and jobs > 1 and len(items) > 1:
+            from repro.perf.parallel import build_bags_parallel
+
+            bags, memo = build_bags_parallel(items, self.config, jobs)
+            self.hasher.absorb_memo(memo)
+            for tree_id, bag in bags:
+                self._insert(tree_id, PQGramIndex(self.config, bag))
+        else:
+            for tree_id, tree in items:
+                self._insert(
+                    tree_id, PQGramIndex.from_tree(tree, self.config, self.hasher)
+                )
 
     def remove_tree(self, tree_id: int) -> None:
         """Drop a tree from the forest index."""
         index = self._indexes.pop(tree_id, None)
         if index is None:
             return
+        del self._sizes[tree_id]
+        self._compact = None
         for key, _ in index.items():
             postings = self._inverted.get(key)
             if postings is not None:
@@ -66,18 +97,33 @@ class ForestIndex:
 
         ``tree`` is the resulting document and ``log`` the inverse
         operations — the exact inputs of the paper's scenario (Fig. 1).
+        The inverted lists are maintained from the update's delta bags,
+        touching only the O(|Δ|) keys whose multiplicity changed rather
+        than un-inverting and re-inverting the whole bag.
         """
         old_index = self.index_of(tree_id)
-        # Un-invert the old bag, update, re-invert.
-        for key, _ in old_index.items():
-            postings = self._inverted.get(key)
-            if postings is not None:
-                postings.pop(tree_id, None)
-                if not postings:
-                    del self._inverted[key]
-        new_index = update_index_replay(old_index, tree, log, self.hasher)
+        new_index, minus, plus = update_index_replay_delta(
+            old_index, tree, log, self.hasher
+        )
         self._indexes[tree_id] = new_index
-        self._invert(tree_id, new_index)
+        self._sizes[tree_id] = new_index.size()
+        self._compact = None
+        for key in minus.keys() | plus.keys():
+            count = new_index.count(key)
+            if count:
+                self._inverted.setdefault(key, {})[tree_id] = count
+            else:
+                postings = self._inverted.get(key)
+                if postings is not None:
+                    postings.pop(tree_id, None)
+                    if not postings:
+                        del self._inverted[key]
+
+    def _insert(self, tree_id: int, index: PQGramIndex) -> None:
+        self._indexes[tree_id] = index
+        self._sizes[tree_id] = index.size()
+        self._compact = None
+        self._invert(tree_id, index)
 
     def _invert(self, tree_id: int, index: PQGramIndex) -> None:
         for key, count in index.items():
@@ -91,6 +137,13 @@ class ForestIndex:
         """The stored index of one tree."""
         try:
             return self._indexes[tree_id]
+        except KeyError:
+            raise StorageError(f"tree id {tree_id} is not indexed") from None
+
+    def size_of(self, tree_id: int) -> int:
+        """|I| of one tree, from the per-tree size metadata."""
+        try:
+            return self._sizes[tree_id]
         except KeyError:
             raise StorageError(f"tree id {tree_id} is not indexed") from None
 
@@ -108,13 +161,59 @@ class ForestIndex:
     # distance against the whole forest
     # ------------------------------------------------------------------
 
-    def distances(self, query: PQGramIndex) -> Dict[int, float]:
-        """pq-gram distance of the query index to every indexed tree.
+    def compact(self) -> None:
+        """Freeze the inverted lists into array-backed postings.
 
-        One pass over the query's distinct pq-grams accumulates the bag
-        intersections via the inverted lists; trees sharing no pq-gram
-        fall back to the no-overlap distance.
+        The array form (``repro.perf.sweep``) makes the lookup sweep a
+        handful of vector operations per query pq-gram.  It is a
+        snapshot: any later mutation invalidates it and the next call
+        rebuilds.  A no-op without numpy — the dict sweep stays in
+        charge.
         """
+        from repro.perf.sweep import HAVE_NUMPY, CompactPostings
+
+        if HAVE_NUMPY and self._compact is None:
+            self._compact = CompactPostings.build(self._inverted, self._sizes)
+
+    def distances(
+        self, query: PQGramIndex, tau: Optional[float] = None
+    ) -> Dict[int, float]:
+        """pq-gram distances of the query index against the forest.
+
+        Without ``tau``: the distance to *every* indexed tree — one
+        pass over the query's distinct pq-grams accumulates the bag
+        intersections via the inverted lists, then every tree gets its
+        distance (trees sharing no pq-gram fall back to the no-overlap
+        distance).
+
+        With ``tau``: exactly the trees with ``distance < tau``.  The
+        threshold is pushed into the scan — for ``tau ≤ 1`` trees
+        sharing no pq-gram can never qualify, so the final pass runs
+        over the co-occurrence candidates only (the index-lookup cost
+        becomes nearly independent of the forest size, the paper's
+        Fig. 13 claim), and the size filter
+        ``min(|I|,|I'|) > (1-τ)/2·(|I|+|I'|)`` discards hopeless
+        candidates from the per-tree size metadata before any distance
+        is materialized.  Both paths produce identical distances.
+        """
+        query_size = query.size()
+        if tau is None:
+            return self._distances_full(query, query_size)
+        if tau > 1.0:
+            # Every tree qualifies at most at the no-overlap distance
+            # 1.0 < tau: nothing can be pruned.
+            full = self._distances_full(query, query_size)
+            return {
+                tree_id: distance
+                for tree_id, distance in full.items()
+                if distance < tau
+            }
+        return self._distances_pruned(query, query_size, tau)
+
+    def _sweep(self, query: PQGramIndex) -> Dict[int, int]:
+        """``{tree_id: |I_query ∩ I_tree|}`` for all co-occurring trees."""
+        if self._compact is not None:
+            return self._compact.sweep(query.items())
         intersections: Dict[int, int] = {}
         for key, query_count in query.items():
             postings = self._inverted.get(key)
@@ -124,12 +223,64 @@ class ForestIndex:
                 intersections[tree_id] = intersections.get(tree_id, 0) + min(
                     query_count, count
                 )
-        query_size = query.size()
+        return intersections
+
+    def _distances_full(
+        self, query: PQGramIndex, query_size: int
+    ) -> Dict[int, float]:
+        intersections = self._sweep(query)
         result: Dict[int, float] = {}
-        for tree_id, index in self._indexes.items():
-            union = query_size + index.size()
-            shared = intersections.get(tree_id, 0)
-            result[tree_id] = 1.0 - 2.0 * shared / union if union else 0.0
+        for tree_id, size in self._sizes.items():
+            result[tree_id] = distance_from_overlap(
+                intersections.get(tree_id, 0), query_size + size
+            )
+        return result
+
+    def _distances_pruned(
+        self, query: PQGramIndex, query_size: int, tau: float
+    ) -> Dict[int, float]:
+        result: Dict[int, float] = {}
+        if tau <= 0.0:
+            return result  # distance < tau ≤ 0 is impossible
+        if query_size == 0:
+            # Degenerate empty query: distance 0 to empty trees (never
+            # in any posting list), 1 to everything else.
+            for tree_id, size in self._sizes.items():
+                if size == 0:
+                    result[tree_id] = 0.0
+            return result
+        sizes = self._sizes
+        if self._compact is not None:
+            # Vectorized sweep, size filter on the candidates after.
+            for tree_id, shared in self._compact.sweep(query.items()).items():
+                size = sizes[tree_id]
+                if not size_bound_admits(query_size, size, tau):
+                    continue
+                distance = distance_from_overlap(shared, query_size + size)
+                if distance < tau:
+                    result[tree_id] = distance
+            return result
+        # Dict sweep: the size filter already gates the accumulation, so
+        # hopeless trees never even enter the intersection map.
+        admitted: Dict[int, bool] = {}
+        intersections: Dict[int, int] = {}
+        for key, query_count in query.items():
+            postings = self._inverted.get(key)
+            if not postings:
+                continue
+            for tree_id, count in postings.items():
+                admit = admitted.get(tree_id)
+                if admit is None:
+                    admit = size_bound_admits(query_size, sizes[tree_id], tau)
+                    admitted[tree_id] = admit
+                if admit:
+                    intersections[tree_id] = intersections.get(
+                        tree_id, 0
+                    ) + min(query_count, count)
+        for tree_id, shared in intersections.items():
+            distance = distance_from_overlap(shared, query_size + sizes[tree_id])
+            if distance < tau:
+                result[tree_id] = distance
         return result
 
     # ------------------------------------------------------------------
@@ -176,9 +327,7 @@ class ForestIndex:
         for row in database.table("forest").scan_dicts():
             bags.setdefault(row["treeId"], {})[row["pqg"]] = row["cnt"]
         for tree_id, bag in bags.items():
-            index = PQGramIndex(forest.config, bag)
-            forest._indexes[tree_id] = index
-            forest._invert(tree_id, index)
+            forest._insert(tree_id, PQGramIndex(forest.config, bag))
         return forest
 
     def serialized_size_bytes(self) -> int:

@@ -23,7 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.core.distance import index_distance
+from repro.core.distance import (
+    distance_from_overlap,
+    index_distance,
+    size_bound_admits,
+)
 from repro.errors import GramConfigError
 from repro.lookup.forest import ForestIndex
 
@@ -34,7 +38,7 @@ class JoinStats:
 
     total_pairs: int = 0          # |A| x |B| (or n(n-1)/2 for self-join)
     candidate_pairs: int = 0      # pairs sharing >= 1 pq-gram
-    size_filtered: int = 0        # candidates discarded by the size filter
+    size_filtered: int = 0        # candidates discarded by the tau pruning
     results: int = 0              # pairs within tau
 
 
@@ -78,22 +82,20 @@ def similarity_join(
                 )
     stats.candidate_pairs = len(intersections)
 
-    sizes_left: Dict[int, int] = {}
-    sizes_right: Dict[int, int] = {}
-    lower_bound_factor = (1.0 - tau) / 2.0
     results: List[Tuple[int, int, float]] = []
     for (left_id, right_id), shared in intersections.items():
-        left_size = sizes_left.setdefault(left_id, left.index_of(left_id).size())
-        right_size = sizes_right.setdefault(
-            right_id, right.index_of(right_id).size()
-        )
-        union = left_size + right_size
-        if shared <= lower_bound_factor * union:
+        left_size = left.size_of(left_id)
+        right_size = right.size_of(right_id)
+        # The same τ kernel the forest lookup uses: prune from sizes
+        # alone (no distance materialized), then decide on the overlap.
+        if not size_bound_admits(left_size, right_size, tau):
             stats.size_filtered += 1
             continue
-        distance = 1.0 - 2.0 * shared / union if union else 0.0
+        distance = distance_from_overlap(shared, left_size + right_size)
         if distance < tau:
             results.append((left_id, right_id, distance))
+        else:
+            stats.size_filtered += 1
     stats.results = len(results)
     results.sort(key=lambda row: row[2])
     return results, stats

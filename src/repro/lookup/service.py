@@ -16,6 +16,7 @@ two modes, mirroring the two arms of the Fig. 13 (left) experiment:
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -24,6 +25,7 @@ from repro.core.distance import index_distance
 from repro.core.index import PQGramIndex
 from repro.hashing.labelhash import LabelHasher
 from repro.lookup.forest import ForestIndex
+from repro.tree.fingerprint import tree_fingerprint
 from repro.tree.tree import Tree
 
 
@@ -43,28 +45,75 @@ class LookupResult:
 
 
 class LookupService:
-    """Approximate lookups with or without a precomputed index."""
+    """Approximate lookups with or without a precomputed index.
 
-    def __init__(self, forest: ForestIndex) -> None:
+    The service memoizes the query's pq-gram index in a small LRU keyed
+    by the query tree's structural fingerprint — repeated lookups of
+    the same document (polling dashboards, paginated clients) skip the
+    index construction entirely — and, when numpy is available, keeps
+    the forest's array-backed postings snapshot warm for the sweep.
+    """
+
+    def __init__(
+        self,
+        forest: ForestIndex,
+        query_cache_size: int = 64,
+        auto_compact: bool = True,
+    ) -> None:
         self.forest = forest
+        self._query_cache: "OrderedDict[Tuple[int, int, int], PQGramIndex]" = (
+            OrderedDict()
+        )
+        self._query_cache_size = max(0, query_cache_size)
+        self._auto_compact = auto_compact
+        self.query_cache_hits = 0
+        self.query_cache_misses = 0
+
+    def query_index(self, query: Tree) -> PQGramIndex:
+        """The query's pq-gram index, via the per-fingerprint LRU."""
+        if self._query_cache_size == 0:
+            return PQGramIndex.from_tree(
+                query, self.forest.config, self.forest.hasher
+            )
+        key = (
+            tree_fingerprint(query),
+            self.forest.config.p,
+            self.forest.config.q,
+        )
+        cached = self._query_cache.get(key)
+        if cached is not None:
+            self._query_cache.move_to_end(key)
+            self.query_cache_hits += 1
+            return cached
+        self.query_cache_misses += 1
+        index = PQGramIndex.from_tree(
+            query, self.forest.config, self.forest.hasher
+        )
+        self._query_cache[key] = index
+        if len(self._query_cache) > self._query_cache_size:
+            self._query_cache.popitem(last=False)
+        return index
 
     def lookup(self, query: Tree, tau: float) -> LookupResult:
         """All forest trees within pq-gram distance ``tau`` of the
-        query, using the precomputed index."""
+        query, using the precomputed index.
+
+        ``tau`` is pushed down into the forest scan, so candidates the
+        threshold can never admit are pruned before their distances are
+        materialized; the result is identical to filtering the full
+        distance map.
+        """
         started = time.perf_counter()
-        query_index = PQGramIndex.from_tree(
-            query, self.forest.config, self.forest.hasher
-        )
-        distances = self.forest.distances(query_index)
-        matches = sorted(
-            ((tree_id, distance) for tree_id, distance in distances.items()
-             if distance < tau),
-            key=lambda pair: pair[1],
-        )
+        query_index = self.query_index(query)
+        if self._auto_compact:
+            self.forest.compact()
+        distances = self.forest.distances(query_index, tau=tau)
+        matches = sorted(distances.items(), key=lambda pair: (pair[1], pair[0]))
         return LookupResult(
             matches=matches,
             seconds_total=time.perf_counter() - started,
-            trees_compared=len(distances),
+            trees_compared=len(self.forest),
+            extra={"pruned": float(len(self.forest) - len(matches))},
         )
 
     def nearest(self, query: Tree, k: int = 1) -> LookupResult:
@@ -76,11 +125,11 @@ class LookupService:
         if k < 1:
             raise ValueError("k must be positive")
         started = time.perf_counter()
-        query_index = PQGramIndex.from_tree(
-            query, self.forest.config, self.forest.hasher
-        )
+        query_index = self.query_index(query)
+        if self._auto_compact:
+            self.forest.compact()
         distances = self.forest.distances(query_index)
-        matches = sorted(distances.items(), key=lambda pair: pair[1])[:k]
+        matches = sorted(distances.items(), key=lambda pair: (pair[1], pair[0]))[:k]
         return LookupResult(
             matches=matches,
             seconds_total=time.perf_counter() - started,
@@ -111,7 +160,7 @@ class LookupService:
             distance = index_distance(query_index, index)
             if distance < tau:
                 matches.append((tree_id, distance))
-        matches.sort(key=lambda pair: pair[1])
+        matches.sort(key=lambda pair: (pair[1], pair[0]))
         return LookupResult(
             matches=matches,
             seconds_total=time.perf_counter() - started,

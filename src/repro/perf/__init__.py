@@ -1,0 +1,30 @@
+"""The performance layer: compact kernels behind the hot paths.
+
+Everything in this package is an *optional accelerator* with a pure
+reference implementation elsewhere in the code base:
+
+- :mod:`repro.perf.arraybag` — sorted-array ``(fingerprint, cnt)``
+  representation of a pq-gram bag with a merge-based intersection;
+  reference: the dict bag of :class:`repro.core.index.PQGramIndex`.
+- :mod:`repro.perf.sweep` — array-backed inverted postings for the
+  forest lookup sweep (vectorized with numpy when available);
+  reference: the dict-of-dicts sweep in
+  :meth:`repro.lookup.forest.ForestIndex.distances`.
+- :mod:`repro.perf.parallel` — multiprocessing forest construction;
+  reference: the serial ``add_tree`` loop.
+
+Accelerated and reference paths produce identical results (asserted in
+``tests/test_perf.py``); numpy is used when importable and silently
+skipped otherwise.
+"""
+
+from repro.perf.arraybag import HAVE_NUMPY, ArrayBag
+from repro.perf.parallel import build_forest_parallel
+from repro.perf.sweep import CompactPostings
+
+__all__ = [
+    "ArrayBag",
+    "CompactPostings",
+    "build_forest_parallel",
+    "HAVE_NUMPY",
+]

@@ -1,0 +1,99 @@
+"""Array-backed inverted postings for the forest lookup sweep.
+
+The reference sweep in :meth:`repro.lookup.forest.ForestIndex.distances`
+walks ``pqg → {treeId: cnt}`` dicts and accumulates per-tree bag
+overlaps one ``min()`` at a time.  :class:`CompactPostings` freezes the
+same postings into one CSR-style pair of arrays — all posting (tree
+slot, cnt) entries back to back, plus a ``key → (start, end)`` span
+map — so one query key accumulates its whole posting list with two
+vector operations over a slice view.  Within one key every tree occurs
+at most once, so the fancy-indexed ``acc[slots] += minimum(counts,
+qcnt)`` is exact — no ``np.add.at`` needed.
+
+The structure is a snapshot: any forest mutation invalidates it and the
+owner rebuilds lazily.  Only built when numpy is importable; callers
+fall back to the dict sweep otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.perf.arraybag import HAVE_NUMPY
+
+if HAVE_NUMPY:
+    import numpy as _np
+
+Key = Tuple[int, ...]
+
+
+class CompactPostings:
+    """Frozen CSR-style array form of a forest's inverted lists."""
+
+    __slots__ = ("tree_ids", "sizes", "slots", "counts", "spans")
+
+    def __init__(self, tree_ids, sizes, slots, counts, spans) -> None:
+        self.tree_ids: List[int] = tree_ids            # slot → tree id
+        self.sizes = sizes                             # slot → |I| (int64)
+        self.slots = slots                             # packed posting slots
+        self.counts = counts                           # packed posting counts
+        self.spans: Dict[Key, Tuple[int, int]] = spans  # key → [start, end)
+
+    @classmethod
+    def build(
+        cls,
+        inverted: Dict[Key, Dict[int, int]],
+        sizes: Dict[int, int],
+    ) -> "CompactPostings":
+        """Snapshot ``pqg → {treeId: cnt}`` postings into arrays."""
+        if not HAVE_NUMPY:  # pragma: no cover - guarded by callers
+            raise RuntimeError("CompactPostings requires numpy")
+        tree_ids = list(sizes)
+        slot_of = {tree_id: slot for slot, tree_id in enumerate(tree_ids)}
+        size_array = _np.fromiter(
+            (sizes[tree_id] for tree_id in tree_ids),
+            dtype=_np.int64,
+            count=len(tree_ids),
+        )
+        total = sum(len(entry) for entry in inverted.values())
+        slots = _np.fromiter(
+            (
+                slot_of[tree_id]
+                for entry in inverted.values()
+                for tree_id in entry
+            ),
+            dtype=_np.intp,
+            count=total,
+        )
+        counts = _np.fromiter(
+            (count for entry in inverted.values() for count in entry.values()),
+            dtype=_np.int64,
+            count=total,
+        )
+        spans: Dict[Key, Tuple[int, int]] = {}
+        position = 0
+        for key, entry in inverted.items():
+            spans[key] = (position, position + len(entry))
+            position += len(entry)
+        return cls(tree_ids, size_array, slots, counts, spans)
+
+    def sweep(self, query_items: Iterable[Tuple[Key, int]]) -> Dict[int, int]:
+        """Bag overlap of the query with every co-occurring tree.
+
+        Returns ``{tree_id: |I_query ∩ I_tree|}`` containing exactly
+        the trees sharing at least one pq-gram with the query — the
+        same contents the reference dict sweep accumulates.
+        """
+        acc = _np.zeros(len(self.tree_ids), dtype=_np.int64)
+        spans = self.spans
+        slots, counts = self.slots, self.counts
+        for key, query_count in query_items:
+            span = spans.get(key)
+            if span is None:
+                continue
+            start, end = span
+            acc[slots[start:end]] += _np.minimum(counts[start:end], query_count)
+        tree_ids = self.tree_ids
+        return {
+            tree_ids[slot]: int(acc[slot]) for slot in _np.nonzero(acc)[0]
+        }

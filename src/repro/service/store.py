@@ -29,7 +29,6 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.config import GramConfig
 from repro.core.index import PQGramIndex
-from repro.core.maintain import update_index_replay
 from repro.edits.ops import EditOperation
 from repro.edits.script import EditScript
 from repro.edits.serialize import format_operations, parse_operations
@@ -59,6 +58,7 @@ class DocumentStore:
         self._checkpoint_every = checkpoint_every
         self._documents: Dict[int, Tree] = {}
         self._forest = ForestIndex(config or GramConfig())
+        self._service: Optional[LookupService] = None
         self._batches_since_checkpoint = 0
         os.makedirs(directory, exist_ok=True)
         if os.path.exists(self._snapshot_path()):
@@ -112,6 +112,26 @@ class DocumentStore:
         self._forest.add_tree(document_id, tree)
         self._checkpoint()
 
+    def add_documents(
+        self, items: Sequence[Tuple[int, Tree]], jobs: Optional[int] = None
+    ) -> None:
+        """Store and index a batch of documents with one checkpoint.
+
+        ``jobs`` > 1 builds the pq-gram indexes in parallel worker
+        processes (``repro.perf.parallel``); the batch is validated
+        up front, so either every document is added or none is.
+        """
+        seen = set()
+        for document_id, _ in items:
+            if document_id in self._documents or document_id in seen:
+                raise StorageError(f"document id {document_id} already exists")
+            seen.add(document_id)
+        copies = [(document_id, tree.copy()) for document_id, tree in items]
+        self._forest.add_trees(copies, jobs=jobs)
+        for document_id, tree in copies:
+            self._documents[document_id] = tree
+        self._checkpoint()
+
     def remove_document(self, document_id: int) -> None:
         """Drop a document and its index (checkpointed immediately)."""
         self._require(document_id)
@@ -135,11 +155,9 @@ class DocumentStore:
 
         self._append_wal(document_id, operations)
         log = EditScript(list(operations)).apply(document)
-        old_index = self._forest.index_of(document_id)
-        new_index = update_index_replay(
-            old_index, document, log, self._forest.hasher
-        )
-        self._swap_index(document_id, new_index)
+        # Incremental maintenance: the forest re-inverts only the keys
+        # the edit batch actually changed.
+        self._forest.update_tree(document_id, document, log)
 
         self._batches_since_checkpoint += 1
         if self._batches_since_checkpoint >= self._checkpoint_every:
@@ -147,7 +165,9 @@ class DocumentStore:
 
     def lookup(self, query: Tree, tau: float) -> LookupResult:
         """Approximate lookup over all stored documents."""
-        return LookupService(self._forest).lookup(query, tau)
+        if self._service is None:
+            self._service = LookupService(self._forest)
+        return self._service.lookup(query, tau)
 
     def checkpoint(self) -> None:
         """Force a snapshot + WAL truncation."""
@@ -162,11 +182,6 @@ class DocumentStore:
             return self._documents[document_id]
         except KeyError:
             raise StorageError(f"no document with id {document_id}") from None
-
-    def _swap_index(self, document_id: int, new_index: PQGramIndex) -> None:
-        self._forest.remove_tree(document_id)
-        self._forest._indexes[document_id] = new_index
-        self._forest._invert(document_id, new_index)
 
     # ------------------------------------------------------------------
     # WAL
@@ -297,20 +312,13 @@ class DocumentStore:
             bags.setdefault(row["treeId"], {})[row["pqg"]] = row["cnt"]
         for document_id in self._documents:
             index = PQGramIndex(self._forest.config, bags.get(document_id, {}))
-            self._forest._indexes[document_id] = index
-            self._forest._invert(document_id, index)
+            self._forest._insert(document_id, index)
         # Replay committed WAL batches appended after the snapshot.
         replayed = 0
         for document_id, operations in self._read_wal():
             document = self._documents[document_id]
             log = EditScript(list(operations)).apply(document)
-            new_index = update_index_replay(
-                self._forest.index_of(document_id),
-                document,
-                log,
-                self._forest.hasher,
-            )
-            self._swap_index(document_id, new_index)
+            self._forest.update_tree(document_id, document, log)
             replayed += 1
         if replayed:
             self._checkpoint()

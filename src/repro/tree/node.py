@@ -7,7 +7,8 @@ tuples of such pairs, padded with the special *null node* whose label is
 
 from __future__ import annotations
 
-from typing import NamedTuple, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 #: Reserved label of the null node.  The null label lives outside the
 #: alphabet of real labels; real nodes may still use the string "*"
@@ -15,7 +16,8 @@ from typing import NamedTuple, Optional
 NULL_LABEL = "*"
 
 
-class Node(NamedTuple):
+@dataclass(frozen=True, slots=True)
+class Node:
     """An (id, label) pair.
 
     ``id`` is ``None`` exactly for the null node; real nodes carry the

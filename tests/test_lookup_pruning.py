@@ -1,0 +1,257 @@
+"""τ push-down, query-index cache and Δ-key inverted maintenance.
+
+The headline guarantee of the fast lookup engine: the pruned indexed
+path and the build-everything-on-the-fly reference path return
+*identical* match sets — same tree ids, same float distances — for
+random forests and random thresholds.
+"""
+
+import random
+
+import pytest
+
+from repro.core import GramConfig, PQGramIndex
+from repro.datasets import (
+    dblp_tree,
+    dblp_update_script,
+    random_labelled_tree,
+    xmark_tree,
+)
+from repro.edits import apply_script
+from repro.lookup import ForestIndex, LookupService
+from repro.perf import HAVE_NUMPY
+
+TAUS = (0.2, 0.5, 0.8, 1.0)
+
+
+def random_forest(count, seed, config=GramConfig(2, 3)):
+    """A forest plus its raw (id, tree) collection for the baseline."""
+    rng = random.Random(seed)
+    collection = []
+    for tree_id in range(count):
+        kind = rng.randrange(3)
+        size = rng.randint(3, 40)
+        if kind == 0:
+            tree = random_labelled_tree(size, seed=seed * 100 + tree_id)
+        elif kind == 1:
+            tree = dblp_tree(max(1, size // 6), seed=seed * 100 + tree_id)
+        else:
+            tree = xmark_tree(size, seed=seed * 100 + tree_id)
+        collection.append((tree_id, tree))
+    forest = ForestIndex(config)
+    forest.add_trees(collection)
+    return forest, collection
+
+
+class TestPrunedLookupParity:
+    def test_property_pruned_equals_reference(self):
+        """Pruned indexed lookup == on-the-fly reference, byte for byte."""
+        for seed in range(6):
+            forest, collection = random_forest(12, seed=seed)
+            service = LookupService(forest)
+            rng = random.Random(1000 + seed)
+            queries = [
+                random_labelled_tree(rng.randint(2, 30), seed=2000 + seed),
+                collection[rng.randrange(len(collection))][1],
+            ]
+            for query in queries:
+                for tau in TAUS:
+                    indexed = service.lookup(query, tau)
+                    reference = service.lookup_without_index(
+                        query, collection, tau
+                    )
+                    assert indexed.matches == reference.matches, (
+                        f"seed={seed} tau={tau}"
+                    )
+
+    def test_pruned_equals_full_filter(self):
+        """distances(query, tau) == filter(distances(query))."""
+        forest, collection = random_forest(10, seed=42)
+        service = LookupService(forest, auto_compact=False)
+        query_index = service.query_index(collection[3][1])
+        full = forest.distances(query_index)
+        for tau in TAUS + (0.0, 1.05, 2.0):
+            expected = {
+                tree_id: distance
+                for tree_id, distance in full.items()
+                if distance < tau
+            }
+            assert forest.distances(query_index, tau=tau) == expected
+            if HAVE_NUMPY:
+                forest.compact()
+                assert forest.distances(query_index, tau=tau) == expected
+
+    def test_no_overlap_trees_pruned(self):
+        """Trees sharing no pq-gram never show up for tau <= 1."""
+        forest = ForestIndex(GramConfig(2, 2))
+        from repro.tree import tree_from_brackets
+
+        forest.add_tree(0, tree_from_brackets("a(b,c)"))
+        forest.add_tree(1, tree_from_brackets("x(y,z)"))
+        service = LookupService(forest)
+        result = service.lookup(tree_from_brackets("a(b,c)"), tau=1.0)
+        assert result.tree_ids() == [0]
+        assert result.extra["pruned"] == 1.0
+        # tau > 1 admits even the no-overlap tree (distance 1.0 < tau).
+        loose = service.lookup(tree_from_brackets("a(b,c)"), tau=1.5)
+        assert sorted(loose.tree_ids()) == [0, 1]
+
+    def test_empty_query(self):
+        """A single-node query still obeys the parity contract."""
+        forest, collection = random_forest(6, seed=7)
+        service = LookupService(forest)
+        from repro.tree import Tree
+
+        query = Tree("only")
+        for tau in TAUS:
+            indexed = service.lookup(query, tau)
+            reference = service.lookup_without_index(query, collection, tau)
+            assert indexed.matches == reference.matches
+
+    def test_tau_zero_matches_nothing(self):
+        forest, collection = random_forest(5, seed=3)
+        service = LookupService(forest)
+        assert service.lookup(collection[0][1], tau=0.0).matches == []
+
+
+class TestQueryCache:
+    def test_repeat_lookup_hits_cache(self):
+        forest, collection = random_forest(6, seed=11)
+        service = LookupService(forest)
+        query = collection[2][1]
+        first = service.lookup(query, tau=0.8)
+        assert service.query_cache_misses == 1
+        assert service.query_cache_hits == 0
+        second = service.lookup(query, tau=0.8)
+        assert service.query_cache_hits == 1
+        assert first.matches == second.matches
+        # A structurally identical but distinct Tree object also hits.
+        import copy
+
+        service.lookup(copy.deepcopy(query), tau=0.8)
+        assert service.query_cache_hits == 2
+
+    def test_cache_eviction_lru(self):
+        forest, collection = random_forest(4, seed=12)
+        service = LookupService(forest, query_cache_size=2)
+        a, b, c = (collection[i][1] for i in range(3))
+        service.lookup(a, 0.8)
+        service.lookup(b, 0.8)
+        service.lookup(c, 0.8)  # evicts a
+        service.lookup(a, 0.8)  # miss again
+        assert service.query_cache_misses == 4
+        assert service.query_cache_hits == 0
+        service.lookup(a, 0.8)
+        assert service.query_cache_hits == 1
+
+    def test_cache_disabled(self):
+        forest, collection = random_forest(3, seed=13)
+        service = LookupService(forest, query_cache_size=0)
+        query = collection[0][1]
+        service.lookup(query, 0.8)
+        service.lookup(query, 0.8)
+        assert service.query_cache_hits == 0
+        assert service.query_cache_misses == 0
+
+    def test_nearest_uses_cache(self):
+        forest, collection = random_forest(5, seed=14)
+        service = LookupService(forest)
+        query = collection[1][1]
+        service.nearest(query, k=2)
+        result = service.nearest(query, k=2)
+        assert service.query_cache_hits == 1
+        assert result.matches[0][0] == 1
+
+
+def rebuilt_inversion(forest):
+    """Fresh ``pqg → {treeId: cnt}`` inversion from the stored indexes."""
+    inverted = {}
+    for tree_id in forest.tree_ids():
+        for key, count in forest.index_of(tree_id).items():
+            inverted.setdefault(key, {})[tree_id] = count
+    return inverted
+
+
+class TestDeltaInversionConsistency:
+    def test_interleaved_add_update_remove(self):
+        """`_inverted` == fresh rebuild after any mutation interleaving."""
+        rng = random.Random(99)
+        forest = ForestIndex(GramConfig(2, 3))
+        documents = {}
+        next_id = 0
+        for round_number in range(40):
+            action = rng.randrange(3)
+            if action == 0 or not documents:
+                tree = dblp_tree(rng.randint(2, 10), seed=round_number)
+                forest.add_tree(next_id, tree)
+                documents[next_id] = tree
+                next_id += 1
+            elif action == 1:
+                tree_id = rng.choice(list(documents))
+                document = documents[tree_id]
+                script = dblp_update_script(
+                    document, rng.randint(1, 8), seed=round_number
+                )
+                edited, log = apply_script(document, script)
+                forest.update_tree(tree_id, edited, log)
+                documents[tree_id] = edited
+            else:
+                tree_id = rng.choice(list(documents))
+                forest.remove_tree(tree_id)
+                del documents[tree_id]
+            assert forest._inverted == rebuilt_inversion(forest), (
+                f"inversion drift after round {round_number} action {action}"
+            )
+            # Size metadata follows the indexes.
+            assert forest._sizes == {
+                tree_id: forest.index_of(tree_id).size()
+                for tree_id in documents
+            }
+
+    def test_update_only_touches_delta_keys(self):
+        """Postings of untouched pq-grams are not rewritten."""
+        forest = ForestIndex(GramConfig(2, 3))
+        tree = dblp_tree(12, seed=5)
+        forest.add_tree(0, tree)
+        forest.add_tree(1, dblp_tree(12, seed=6))
+        script = dblp_update_script(tree, 3, seed=1)
+        edited, log = apply_script(tree, script)
+        before = {
+            key: dict(postings) for key, postings in forest._inverted.items()
+        }
+        forest.update_tree(0, edited, log)
+        changed = {
+            key
+            for key in set(before) | set(forest._inverted)
+            if before.get(key) != forest._inverted.get(key)
+        }
+        new_index = forest.index_of(0)
+        old_index = PQGramIndex.from_tree(tree, forest.config, forest.hasher)
+        delta_keys = {
+            key
+            for key in set(dict(old_index.items())) | set(dict(new_index.items()))
+            if old_index.count(key) != new_index.count(key)
+        }
+        assert changed == delta_keys
+
+    def test_lookup_correct_after_updates(self):
+        """End to end: service results stay correct across maintenance."""
+        forest = ForestIndex(GramConfig(2, 3))
+        documents = {i: dblp_tree(8, seed=i) for i in range(5)}
+        for tree_id, tree in documents.items():
+            forest.add_tree(tree_id, tree)
+        service = LookupService(forest)
+        rng = random.Random(4)
+        for round_number in range(8):
+            tree_id = rng.randrange(5)
+            document = documents[tree_id]
+            script = dblp_update_script(document, 4, seed=round_number)
+            edited, log = apply_script(document, script)
+            forest.update_tree(tree_id, edited, log)
+            documents[tree_id] = edited
+            for tau in (0.5, 1.0):
+                indexed = service.lookup(edited, tau)
+                reference = service.lookup_without_index(
+                    edited, list(documents.items()), tau
+                )
+                assert indexed.matches == reference.matches
