@@ -7,7 +7,7 @@ over XML files and store directories:
 - ``distance``  pq-gram distance between two XML files
 - ``diff``      edit script between two XML file versions
 - ``store ...`` manage a durable document store:
-  ``store add / edit / lookup / list / show``
+  ``store add / edit / applylog / lookup / list / show / stats``
 
 Examples::
 
@@ -16,7 +16,9 @@ Examples::
     python -m repro diff old.xml new.xml > edits.log
     python -m repro store --dir ./mystore add 1 doc.xml
     python -m repro store --dir ./mystore edit 1 edits.log
+    python -m repro store --dir ./mystore applylog 1 edits.log --engine batch --jobs 4
     python -m repro store --dir ./mystore lookup query.xml --tau 0.4
+    python -m repro store --dir ./mystore stats
 """
 
 from __future__ import annotations
@@ -110,6 +112,33 @@ def _build_parser() -> argparse.ArgumentParser:
     edit_parser.add_argument("doc_id", type=int)
     edit_parser.add_argument("log_file")
 
+    applylog_parser = store_commands.add_parser(
+        "applylog",
+        help="apply an edit-log file with an explicit maintenance engine",
+    )
+    applylog_parser.add_argument("doc_id", type=int)
+    applylog_parser.add_argument("log_file")
+    applylog_parser.add_argument(
+        "--engine",
+        choices=("replay", "batch"),
+        default="batch",
+        help="maintenance engine (default batch: log compaction + "
+        "commuting-op groups; results are bit-identical to replay)",
+    )
+    applylog_parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan per-group delta bags out over N worker processes "
+        "(batch engine only)",
+    )
+    applylog_parser.add_argument(
+        "--no-compact",
+        action="store_true",
+        help="skip the redundant-operation log compaction",
+    )
+
     lookup_parser = store_commands.add_parser(
         "lookup", help="approximate lookup of an XML query"
     )
@@ -117,6 +146,11 @@ def _build_parser() -> argparse.ArgumentParser:
     lookup_parser.add_argument("--tau", type=float, default=0.5)
 
     store_commands.add_parser("list", help="list stored documents")
+
+    store_commands.add_parser(
+        "stats",
+        help="store-wide counters (documents, pq-grams, hasher memo)",
+    )
 
     show_parser = store_commands.add_parser("show", help="document statistics")
     show_parser.add_argument("doc_id", type=int)
@@ -205,6 +239,25 @@ def _command_store(arguments: argparse.Namespace) -> int:
             f"applied {len(operations)} operation(s) to document "
             f"{arguments.doc_id}; index maintained incrementally"
         )
+    elif arguments.store_command == "applylog":
+        with open(arguments.log_file, "r", encoding="utf-8") as handle:
+            operations = parse_operations(handle.read())
+        store.apply_edits(
+            arguments.doc_id,
+            operations,
+            engine=arguments.engine,
+            jobs=arguments.jobs,
+            compact=False if arguments.no_compact else None,
+        )
+        print(
+            f"applied {len(operations)} operation(s) to document "
+            f"{arguments.doc_id} (engine={arguments.engine}"
+            + (f", jobs={arguments.jobs}" if arguments.jobs else "")
+            + ")"
+        )
+    elif arguments.store_command == "stats":
+        for key, value in store.stats().items():
+            print(f"{key}: {value}")
     elif arguments.store_command == "lookup":
         query = tree_from_xml(arguments.file)
         result = store.lookup(query, arguments.tau)

@@ -14,7 +14,10 @@ This package implements the paper's primary contribution:
 - :mod:`repro.core.update` — the profile update function U
   (Algorithms 3 and 4, Table 1),
 - :mod:`repro.core.maintain` — the incremental ``update_index``
-  (Algorithm 1) and its instrumented variant.
+  (Algorithm 1) and its instrumented variant,
+- :mod:`repro.core.batch` — the batched maintenance engine (log
+  compaction, commuting-op groups, parallel δ, single-pass Δ
+  application).
 """
 
 from repro.core.config import GramConfig
@@ -28,6 +31,12 @@ from repro.core.update import apply_update
 from repro.core.localdelta import delta_label_bag
 from repro.core.stability import is_address_stable
 from repro.core.distance import distance_from_overlap, size_bound_admits
+from repro.core.batch import (
+    BatchTimings,
+    update_index_batch,
+    update_index_batch_delta,
+    update_index_batch_timed,
+)
 from repro.core.maintain import (
     MaintenanceTimings,
     ReplayTimings,
@@ -62,6 +71,10 @@ __all__ = [
     "update_index_replay_timed",
     "update_index_tablewise",
     "update_index_timed",
+    "update_index_batch",
+    "update_index_batch_delta",
+    "update_index_batch_timed",
     "MaintenanceTimings",
     "ReplayTimings",
+    "BatchTimings",
 ]

@@ -1,8 +1,9 @@
 """Incremental index maintenance: Algorithm 1 and the replay engine.
 
-Two engines share the same inputs — the old index I_0, the resulting
+The engines share the same inputs — the old index I_0, the resulting
 tree T_n and the log of inverse edit operations (ē_1, .., ē_n) — and
-never reconstruct a full intermediate document version:
+never reconstruct a full intermediate document version (a third,
+batched engine lives in :mod:`repro.core.batch`):
 
 **Tablewise** (``update_index_tablewise``) is the paper's Algorithm 1:
 
@@ -226,6 +227,7 @@ def update_index_replay_delta(
     tree: Tree,
     log: Sequence[EditOperation],
     hasher: LabelHasher,
+    compact: bool = False,
 ) -> Tuple[PQGramIndex, Bag, Bag]:
     """The replay engine, also returning the folded-in delta bags.
 
@@ -235,9 +237,18 @@ def update_index_replay_delta(
     set of tuples whose multiplicity changed, which lets callers that
     mirror the index — e.g. the forest's inverted lists — re-invert
     only O(|Δ|) keys instead of the whole bag.
+
+    ``compact=True`` first cancels redundant log operations
+    (:func:`repro.edits.reduce.compact_inverse_log`); the result is
+    bit-identical either way because the net signed bag depends only on
+    the endpoint versions T_0 and T_n.
     """
     from repro.core.localdelta import delta_label_bag
 
+    if compact:
+        from repro.edits.reduce import compact_inverse_log
+
+        log = compact_inverse_log(tree, log)
     config = old_index.config
     signed: Dict[Tuple[int, ...], int] = {}
     forward_ops: list[EditOperation] = []
@@ -273,10 +284,11 @@ def update_index_replay(
     tree: Tree,
     log: Sequence[EditOperation],
     hasher: Optional[LabelHasher] = None,
+    compact: bool = False,
 ) -> PQGramIndex:
     """The replay engine (see :func:`update_index_replay_timed`)."""
     new_index, _, _ = update_index_replay_delta(
-        old_index, tree, log, hasher or LabelHasher()
+        old_index, tree, log, hasher or LabelHasher(), compact=compact
     )
     return new_index
 
@@ -287,18 +299,44 @@ def update_index(
     log: Sequence[EditOperation],
     hasher: Optional[LabelHasher] = None,
     engine: str = "replay",
+    compact: Optional[bool] = None,
+    jobs: Optional[int] = None,
 ) -> PQGramIndex:
     """Incrementally maintain the pq-gram index.
 
-    ``engine`` selects ``"replay"`` (default, exact on every valid log)
-    or ``"tablewise"`` (the paper's Algorithm 1, exact on
-    address-stable logs).  Both take the same inputs: old index,
-    resulting tree, inverse-operation log.
+    ``engine`` selects ``"replay"`` (default, exact on every valid
+    log), ``"batch"`` (the batched engine of :mod:`repro.core.batch` —
+    log compaction, commuting-op groups, optionally parallel δ;
+    bit-identical to replay on every valid log) or ``"tablewise"``
+    (the paper's Algorithm 1, exact on address-stable logs).  All take
+    the same inputs: old index, resulting tree, inverse-operation log.
+
+    ``compact`` preprocesses the log with
+    :func:`repro.edits.reduce.compact_inverse_log`; it defaults to the
+    engine's native choice (on for ``"batch"``, off otherwise) and is
+    rejected for ``"tablewise"``, whose U-chain must see the log
+    verbatim.  ``jobs`` fans the batch engine's per-group δ bags out
+    over worker processes.
     """
     hasher = hasher or LabelHasher()
     if engine == "replay":
-        return update_index_replay(old_index, tree, log, hasher)
+        return update_index_replay(
+            old_index, tree, log, hasher, compact=bool(compact)
+        )
+    if engine == "batch":
+        from repro.core.batch import update_index_batch
+
+        return update_index_batch(
+            old_index,
+            tree,
+            log,
+            hasher,
+            compact=True if compact is None else compact,
+            jobs=jobs,
+        )
     if engine == "tablewise":
+        if compact:
+            raise ValueError("engine='tablewise' does not support compact=True")
         return update_index_tablewise(old_index, tree, log, hasher)
     raise ValueError(f"unknown engine {engine!r}")
 

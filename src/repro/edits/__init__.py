@@ -20,7 +20,7 @@ from repro.edits.move import Move
 from repro.edits.script import EditScript, apply_script, log_of_script
 from repro.edits.generator import EditScriptGenerator
 from repro.edits.serialize import parse_operations, format_operations
-from repro.edits.reduce import reduce_log
+from repro.edits.reduce import compact_inverse_log, reduce_log
 from repro.edits.compound import delete_subtree_ops, insert_subtree_ops, move_subtree_ops
 from repro.edits.diff import diff_trees
 
@@ -38,6 +38,7 @@ __all__ = [
     "parse_operations",
     "format_operations",
     "reduce_log",
+    "compact_inverse_log",
     "diff_trees",
     "insert_subtree_ops",
     "delete_subtree_ops",

@@ -29,18 +29,37 @@ from repro.tree.tree import Tree
 def _collapse_renames(
     tree: Tree, operations: Sequence[EditOperation]
 ) -> List[Optional[EditOperation]]:
-    """Keep only the last rename of any uninterrupted rename chain."""
+    """Keep only the last rename of any uninterrupted rename chain.
+
+    The scan tracks labels through a lazy overlay on the (unmodified)
+    input tree instead of mutating a deep copy — reduction is O(script)
+    regardless of tree size.  Operations on unknown node ids are kept
+    verbatim and left for the maintenance engines to reject.
+    """
     result: List[Optional[EditOperation]] = list(operations)
     last_rename: Dict[int, int] = {}  # node id -> position of pending rename
     original_label: Dict[int, str] = {}
-    working = tree.copy()
+    overlay: Dict[int, Optional[str]] = {}  # labels changed by the prefix
+
+    def current_label(node_id: int) -> Optional[str]:
+        if node_id in overlay:
+            return overlay[node_id]
+        if node_id in tree:
+            return tree.label(node_id)
+        return None
+
     for position, operation in enumerate(operations):
         if isinstance(operation, Rename):
             node_id = operation.node_id
             if node_id in last_rename:
                 result[last_rename[node_id]] = None
             else:
-                original_label[node_id] = working.label(node_id)
+                known = current_label(node_id)
+                if known is None:
+                    # Invalid script; don't reduce around the bad op.
+                    overlay[node_id] = operation.label
+                    continue
+                original_label[node_id] = known
             if operation.label == original_label.get(node_id):
                 # Chain restored the original label: drop it entirely.
                 result[position] = None
@@ -48,12 +67,17 @@ def _collapse_renames(
                 del original_label[node_id]
             else:
                 last_rename[node_id] = position
-        elif isinstance(operation, (Insert, Delete)):
+            overlay[node_id] = operation.label
+        elif isinstance(operation, Insert):
             # Structural ops may move the node or change its context;
             # renames across them are kept (conservative).
             last_rename.clear()
             original_label.clear()
-        operation.apply(working)
+            overlay[operation.node_id] = operation.label
+        elif isinstance(operation, Delete):
+            last_rename.clear()
+            original_label.clear()
+            overlay[operation.node_id] = None
     return result
 
 
@@ -141,3 +165,23 @@ def reduce_log(tree: Tree, operations: Sequence[EditOperation]) -> List[EditOper
     equivalent to reducing the log itself.
     """
     return reduce_script(tree, operations)
+
+
+def compact_inverse_log(
+    tree: Tree, log: Sequence[EditOperation]
+) -> List[EditOperation]:
+    """Reduce an inverse log ``(ē_1, .., ē_n)`` against ``tree`` = T_n.
+
+    The log applied in reverse order is itself a script on T_n (it
+    rebuilds T_0), so :func:`reduce_script` applies verbatim; the
+    result is returned back in *log order* (ē'_1, .., ē'_k with k ≤ n)
+    so it slots into every maintenance engine unchanged.
+
+    Maintenance is invariant under this rewrite: the replay engine's
+    net signed bag telescopes to λ(P(T_n)) − λ(P(T_0)), which depends
+    only on the two endpoint versions — and reduction preserves T_0
+    exactly.
+    """
+    backward = reduce_script(tree, list(reversed(list(log))))
+    backward.reverse()
+    return backward

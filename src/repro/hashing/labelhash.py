@@ -21,7 +21,10 @@ class LabelHasher:
 
     The memo makes repeated hashing of the (few, highly repetitive) XML
     element names O(1); an optional reverse map supports debugging and
-    human-readable index dumps.
+    human-readable index dumps.  Long-lived owners (the document store,
+    the lookup service) share one hasher across every build and
+    maintenance call, so the hit/miss counters double as a health
+    signal for that sharing (surfaced by ``store stats``).
     """
 
     def __init__(
@@ -32,6 +35,8 @@ class LabelHasher:
         self._fingerprint = fingerprint or KarpRabinFingerprint()
         self._memo: Dict[str, int] = {}
         self._reverse: Optional[Dict[int, str]] = {} if keep_reverse_map else None
+        self.memo_hits = 0
+        self.memo_misses = 0
 
     @property
     def fingerprint(self) -> KarpRabinFingerprint:
@@ -42,7 +47,9 @@ class LabelHasher:
         """Fingerprint of a real label; never returns :data:`NULL_HASH`."""
         cached = self._memo.get(label)
         if cached is not None:
+            self.memo_hits += 1
             return cached
+        self.memo_misses += 1
         value = self._fingerprint.of_text(label)
         if value == NULL_HASH:
             # Remap the (astronomically unlikely) zero fingerprint so the
@@ -52,6 +59,14 @@ class LabelHasher:
         if self._reverse is not None:
             self._reverse[value] = label
         return value
+
+    def stats(self) -> Dict[str, int]:
+        """Memo statistics: distinct labels, hits, misses."""
+        return {
+            "labels": len(self._memo),
+            "hits": self.memo_hits,
+            "misses": self.memo_misses,
+        }
 
     def hash_optional(self, label: Optional[str]) -> int:
         """Hash a label, treating ``None`` and ``*``-as-null as the null

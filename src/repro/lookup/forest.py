@@ -91,7 +91,13 @@ class ForestIndex:
                     del self._inverted[key]
 
     def update_tree(
-        self, tree_id: int, tree: Tree, log: List[EditOperation]
+        self,
+        tree_id: int,
+        tree: Tree,
+        log: List[EditOperation],
+        engine: str = "replay",
+        compact: Optional[bool] = None,
+        jobs: Optional[int] = None,
     ) -> None:
         """Incrementally maintain one tree's index after edits.
 
@@ -100,11 +106,31 @@ class ForestIndex:
         The inverted lists are maintained from the update's delta bags,
         touching only the O(|Δ|) keys whose multiplicity changed rather
         than un-inverting and re-inverting the whole bag.
+
+        ``engine`` selects ``"replay"`` (default) or ``"batch"`` (the
+        batched engine: log compaction, commuting groups, optionally
+        ``jobs`` δ worker processes) — bit-identical results either
+        way.  ``compact`` overrides the engine's native log-compaction
+        default (off for replay, on for batch).
         """
         old_index = self.index_of(tree_id)
-        new_index, minus, plus = update_index_replay_delta(
-            old_index, tree, log, self.hasher
-        )
+        if engine == "batch":
+            from repro.core.batch import update_index_batch_delta
+
+            new_index, minus, plus = update_index_batch_delta(
+                old_index,
+                tree,
+                log,
+                self.hasher,
+                compact=True if compact is None else compact,
+                jobs=jobs,
+            )
+        elif engine == "replay":
+            new_index, minus, plus = update_index_replay_delta(
+                old_index, tree, log, self.hasher, compact=bool(compact)
+            )
+        else:
+            raise ValueError(f"unknown maintenance engine {engine!r}")
         self._indexes[tree_id] = new_index
         self._sizes[tree_id] = new_index.size()
         self._compact = None

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.config import GramConfig
 from repro.core.distance import index_distance
 from repro.core.index import PQGramIndex
+from repro.edits.ops import EditOperation
 from repro.hashing.labelhash import LabelHasher
 from repro.lookup.forest import ForestIndex
 from repro.tree.fingerprint import tree_fingerprint
@@ -93,6 +94,31 @@ class LookupService:
         if len(self._query_cache) > self._query_cache_size:
             self._query_cache.popitem(last=False)
         return index
+
+    def update_tree(
+        self,
+        tree_id: int,
+        tree: Tree,
+        log: List[EditOperation],
+        engine: str = "replay",
+        compact: Optional[bool] = None,
+        jobs: Optional[int] = None,
+    ) -> None:
+        """Incrementally maintain one forest tree through the service.
+
+        Thin pass-through to :meth:`ForestIndex.update_tree` (same
+        engine semantics) so embedders that only hold the service can
+        run maintenance; the forest invalidates its postings snapshot,
+        and the query cache needs no flushing — it is keyed by query
+        fingerprint, not by forest state.
+        """
+        self.forest.update_tree(
+            tree_id, tree, log, engine=engine, compact=compact, jobs=jobs
+        )
+
+    def hasher_stats(self) -> Dict[str, int]:
+        """Memo statistics of the forest's shared label hasher."""
+        return self.forest.hasher.stats()
 
     def lookup(self, query: Tree, tau: float) -> LookupResult:
         """All forest trees within pq-gram distance ``tau`` of the

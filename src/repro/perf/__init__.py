@@ -10,8 +10,9 @@ reference implementation elsewhere in the code base:
   forest lookup sweep (vectorized with numpy when available);
   reference: the dict-of-dicts sweep in
   :meth:`repro.lookup.forest.ForestIndex.distances`.
-- :mod:`repro.perf.parallel` — multiprocessing forest construction;
-  reference: the serial ``add_tree`` loop.
+- :mod:`repro.perf.parallel` — multiprocessing forest construction and
+  per-group maintenance deltas; references: the serial ``add_tree``
+  loop and the serial δ sweep of :mod:`repro.core.batch`.
 
 Accelerated and reference paths produce identical results (asserted in
 ``tests/test_perf.py``); numpy is used when importable and silently
@@ -19,12 +20,13 @@ skipped otherwise.
 """
 
 from repro.perf.arraybag import HAVE_NUMPY, ArrayBag
-from repro.perf.parallel import build_forest_parallel
+from repro.perf.parallel import build_forest_parallel, delta_bags_parallel
 from repro.perf.sweep import CompactPostings
 
 __all__ = [
     "ArrayBag",
     "CompactPostings",
     "build_forest_parallel",
+    "delta_bags_parallel",
     "HAVE_NUMPY",
 ]

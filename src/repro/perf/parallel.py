@@ -1,4 +1,4 @@
-"""Parallel forest construction.
+"""Parallel forest construction and parallel maintenance deltas.
 
 From-scratch index construction is the single most expensive operation
 of the lookup workflow (paper Section 9.1) and is embarrassingly
@@ -9,6 +9,13 @@ fingerprints are deterministic, so every worker maps equal labels to
 equal hashes — and the parent merges the label memos afterwards so
 later incremental updates keep their O(1) label lookups warm.
 
+The same worker shape serves the batched maintenance engine
+(:mod:`repro.core.batch`): the per-operation δ bags of one commuting
+group are all evaluated against the same tree version, so
+:func:`delta_bags_parallel` fans them out across processes.  The tree
+is shipped to every worker, which only pays off for large groups over
+large documents — the engine gates the fan-out on group size.
+
 Falls back to the serial loop for tiny inputs, ``jobs <= 1``, or when
 the platform cannot spawn workers.
 """
@@ -16,7 +23,7 @@ the platform cannot spawn workers.
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import GramConfig
 from repro.core.index import Bag, PQGramIndex
@@ -69,6 +76,59 @@ def build_bags_parallel(
             by_id[tree_id] = bag
         memo.update(part_memo)
     return [(tree_id, by_id[tree_id]) for tree_id, _ in items], memo
+
+
+def _build_delta_bags(payload):
+    """Worker: δ bags + label memo for one chunk of a commuting group."""
+    tree, config, indexed_ops = payload
+    from repro.core.localdelta import delta_label_bag
+
+    hasher = LabelHasher()
+    bags = [
+        (position, delta_label_bag(tree, operation, config, hasher))
+        for position, operation in indexed_ops
+    ]
+    return bags, hasher.memo_snapshot()
+
+
+def delta_bags_parallel(
+    tree: Tree,
+    operations: Sequence,
+    config: GramConfig,
+    jobs: Optional[int] = None,
+) -> Tuple[List[Bag], Dict[str, int]]:
+    """λ(δ(tree, op)) for every operation, fanned out over workers.
+
+    All operations must be applicable on this exact tree version (the
+    commuting-group contract of :mod:`repro.core.batch`).  Returns the
+    bags in input order plus the merged label memo of all workers;
+    runs serially when parallelism cannot help or is unavailable.
+    """
+    jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+    jobs = min(jobs, len(operations))
+    indexed = list(enumerate(operations))
+    if jobs <= 1 or len(operations) < 2:
+        bags, memo = _build_delta_bags((tree, config, indexed))
+        return [bag for _, bag in bags], memo
+    chunks = [indexed[rank::jobs] for rank in range(jobs)]
+    try:
+        import multiprocessing
+
+        with multiprocessing.Pool(jobs) as pool:
+            parts = pool.map(
+                _build_delta_bags,
+                [(tree, config, chunk) for chunk in chunks],
+            )
+    except (ImportError, OSError):  # pragma: no cover - restricted platforms
+        bags, memo = _build_delta_bags((tree, config, indexed))
+        return [bag for _, bag in bags], memo
+    by_position: Dict[int, Bag] = {}
+    memo: Dict[str, int] = {}
+    for bags, part_memo in parts:
+        for position, bag in bags:
+            by_position[position] = bag
+        memo.update(part_memo)
+    return [by_position[position] for position in range(len(operations))], memo
 
 
 def build_forest_parallel(

@@ -53,9 +53,15 @@ class DocumentStore:
         directory: str,
         config: Optional[GramConfig] = None,
         checkpoint_every: int = 16,
+        engine: str = "replay",
+        jobs: Optional[int] = None,
     ) -> None:
+        if engine not in ("replay", "batch"):
+            raise StorageError(f"unknown maintenance engine {engine!r}")
         self._directory = directory
         self._checkpoint_every = checkpoint_every
+        self._engine = engine
+        self._jobs = jobs
         self._documents: Dict[int, Tree] = {}
         self._forest = ForestIndex(config or GramConfig())
         self._service: Optional[LookupService] = None
@@ -84,6 +90,21 @@ class DocumentStore:
     def config(self) -> GramConfig:
         """The store's pq-gram configuration."""
         return self._forest.config
+
+    @property
+    def hasher(self):
+        """The store-wide shared label hasher.
+
+        One hasher serves every build, maintenance and lookup call of
+        this store, so the label memo stays warm across the whole
+        workload (its hit/miss counters are reported by :meth:`stats`).
+        """
+        return self._forest.hasher
+
+    @property
+    def engine(self) -> str:
+        """The default maintenance engine of :meth:`apply_edits`."""
+        return self._engine
 
     def document_ids(self) -> Iterator[int]:
         """Ids of all stored documents."""
@@ -140,12 +161,22 @@ class DocumentStore:
         self._checkpoint()
 
     def apply_edits(
-        self, document_id: int, operations: Sequence[EditOperation]
+        self,
+        document_id: int,
+        operations: Sequence[EditOperation],
+        engine: Optional[str] = None,
+        jobs: Optional[int] = None,
+        compact: Optional[bool] = None,
     ) -> None:
         """Durably apply an edit batch and maintain the index.
 
         The batch reaches the WAL (fsync'd) before any state changes;
         a crash at any later point is recovered by replay.
+
+        ``engine`` (``"replay"`` or ``"batch"``), ``jobs`` and
+        ``compact`` override the store-wide maintenance defaults for
+        this batch only; the resulting index is bit-identical for
+        every engine, so the WAL never records the choice.
         """
         document = self._require(document_id)
         # Validate against a copy first: either the whole batch applies
@@ -157,7 +188,14 @@ class DocumentStore:
         log = EditScript(list(operations)).apply(document)
         # Incremental maintenance: the forest re-inverts only the keys
         # the edit batch actually changed.
-        self._forest.update_tree(document_id, document, log)
+        self._forest.update_tree(
+            document_id,
+            document,
+            log,
+            engine=engine or self._engine,
+            compact=compact,
+            jobs=jobs if jobs is not None else self._jobs,
+        )
 
         self._batches_since_checkpoint += 1
         if self._batches_since_checkpoint >= self._checkpoint_every:
@@ -172,6 +210,34 @@ class DocumentStore:
     def checkpoint(self) -> None:
         """Force a snapshot + WAL truncation."""
         self._checkpoint()
+
+    def stats(self) -> Dict[str, object]:
+        """Operational counters of the store.
+
+        Covers the collection (documents, nodes, pq-grams), the
+        maintenance configuration, and the shared label hasher's memo
+        hit/miss counters — a warm memo means every build and update
+        call reused the store-wide hasher instead of re-fingerprinting
+        labels from scratch.
+        """
+        node_count = sum(len(tree) for tree in self._documents.values())
+        gram_count = sum(
+            self._forest.index_of(document_id).size()
+            for document_id in self._documents
+        )
+        hasher_stats = self._forest.hasher.stats()
+        service = self._service
+        return {
+            "documents": len(self._documents),
+            "nodes": node_count,
+            "pq_grams": gram_count,
+            "engine": self._engine,
+            "hasher_labels": hasher_stats["labels"],
+            "hasher_hits": hasher_stats["hits"],
+            "hasher_misses": hasher_stats["misses"],
+            "query_cache_hits": service.query_cache_hits if service else 0,
+            "query_cache_misses": service.query_cache_misses if service else 0,
+        }
 
     # ------------------------------------------------------------------
     # index plumbing
@@ -318,7 +384,9 @@ class DocumentStore:
         for document_id, operations in self._read_wal():
             document = self._documents[document_id]
             log = EditScript(list(operations)).apply(document)
-            self._forest.update_tree(document_id, document, log)
+            self._forest.update_tree(
+                document_id, document, log, engine=self._engine, jobs=self._jobs
+            )
             replayed += 1
         if replayed:
             self._checkpoint()

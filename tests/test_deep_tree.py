@@ -1,0 +1,93 @@
+"""Stress: build and maintain indexes over trees deeper than the
+Python recursion limit.
+
+Every production path — bulk construction, streaming construction,
+replay maintenance, batch maintenance — must be iterative.  A
+path-shaped tree of depth ``sys.getrecursionlimit() + 200`` blows up
+any hidden recursion immediately.  Trees are compared through their
+pq-gram indexes here; ``Tree.__eq__`` itself recurses by design and
+must stay off these inputs.
+"""
+
+import sys
+
+from repro.core import (
+    GramConfig,
+    PQGramIndex,
+    update_index_batch,
+    update_index_replay,
+)
+from repro.edits import Delete, Insert, Rename, apply_script
+from repro.hashing import LabelHasher
+from repro.tree.traversal import tree_depth
+from repro.tree.tree import Tree
+from repro.xmlio.stream import stream_index_xml
+
+DEPTH = sys.getrecursionlimit() + 200
+
+
+def _path_tree(depth: int) -> Tree:
+    tree = Tree("n0", 0)
+    parent = 0
+    for level in range(1, depth):
+        parent = tree.add_child(parent, f"n{level % 7}")
+    return tree
+
+
+def test_build_index_beyond_recursion_limit():
+    tree = _path_tree(DEPTH)
+    assert tree_depth(tree) == DEPTH - 1  # edges, not nodes
+    config = GramConfig(3, 2)
+    hasher = LabelHasher()
+    index = PQGramIndex.from_tree(tree, config, hasher)
+    assert index.size() > 0
+    # Copy is iterative too, and copies index-identically.
+    clone = tree.copy()
+    assert PQGramIndex.from_tree(clone, config, hasher) == index
+
+
+def test_stream_builder_matches_dom_on_deep_document():
+    depth = DEPTH
+    labels = [f"n{level % 7}" for level in range(depth)]
+    text = "".join(f"<{label}>" for label in labels) + "".join(
+        f"</{label}>" for label in reversed(labels)
+    )
+    config = GramConfig(2, 3)
+    hasher = LabelHasher()
+    streamed = stream_index_xml(text, config, hasher)
+    assert streamed == PQGramIndex.from_tree(_path_tree(depth), config, hasher)
+
+
+def test_maintain_deep_tree_with_both_engines():
+    tree = _path_tree(DEPTH)
+    config = GramConfig(2, 2)
+    hasher = LabelHasher()
+    old_index = PQGramIndex.from_tree(tree, config, hasher)
+    # Edits near the leaf: the delta walks p ancestors up from the
+    # deepest nodes, never the whole path.
+    deepest = max(tree.node_ids())
+    twig = tree.fresh_id()
+    script = [
+        Rename(deepest, "tip"),
+        Insert(twig, "twig", deepest, 1, 0),
+        Rename(tree.parent(deepest), "near-tip"),
+        Delete(twig),
+        Insert(tree.fresh_id() + 1, "bud", deepest, 1, 0),
+    ]
+    edited, log = apply_script(tree, script)
+    rebuilt = PQGramIndex.from_tree(edited, config, hasher)
+    assert update_index_replay(old_index, edited, log, hasher) == rebuilt
+    assert update_index_batch(old_index, edited, log, hasher) == rebuilt
+
+
+def test_maintain_deep_tree_with_edit_near_root():
+    # A rename just below the root touches grams along the top of the
+    # path only (the root itself must not be edited).
+    tree = _path_tree(DEPTH)
+    config = GramConfig(2, 2)
+    hasher = LabelHasher()
+    old_index = PQGramIndex.from_tree(tree, config, hasher)
+    below_root = tree.children(0)[0]
+    edited, log = apply_script(tree, [Rename(below_root, "new-top")])
+    rebuilt = PQGramIndex.from_tree(edited, config, hasher)
+    assert update_index_batch(old_index, edited, log, hasher) == rebuilt

@@ -177,3 +177,62 @@ class TestDurability:
         document = recovered.get_document(1)
         assert fresh in document
         assert document.fresh_id() > fresh
+
+
+class TestEnginesAndStats:
+    def test_store_default_batch_engine(self, store_dir):
+        store = DocumentStore(store_dir, GramConfig(2, 3), engine="batch")
+        tree = dblp_tree(20, seed=3)
+        store.add_document(1, tree)
+        work = store.get_document(1)
+        script = dblp_update_script(work, 8, seed=4)
+        store.apply_edits(1, script)
+        assert store.get_index(1) == rebuilt(store, 1)
+        assert store.stats()["engine"] == "batch"
+
+    def test_per_call_engine_override(self, store_dir):
+        store = DocumentStore(store_dir, GramConfig(2, 2))  # replay default
+        tree = dblp_tree(20, seed=5)
+        store.add_document(1, tree)
+        work = store.get_document(1)
+        script = dblp_update_script(work, 6, seed=6)
+        store.apply_edits(1, script, engine="batch", jobs=2)
+        assert store.get_index(1) == rebuilt(store, 1)
+        assert store.stats()["engine"] == "replay"  # default unchanged
+
+    def test_unknown_engine_rejected(self, store_dir):
+        with pytest.raises(StorageError):
+            DocumentStore(store_dir, GramConfig(2, 2), engine="tablewise")
+
+    def test_shared_hasher_accumulates_hits(self, store_dir):
+        store = DocumentStore(store_dir, GramConfig(2, 2))
+        store.add_document(1, dblp_tree(10, seed=7))
+        after_first = store.hasher.stats()
+        assert after_first["misses"] > 0
+        # A second, label-identical document is served from the memo.
+        store.add_document(2, dblp_tree(10, seed=7))
+        after_second = store.hasher.stats()
+        assert after_second["labels"] == after_first["labels"]
+        assert after_second["hits"] > after_first["hits"]
+        assert after_second["misses"] == after_first["misses"]
+
+    def test_stats_counts_collection(self, store_dir):
+        store = DocumentStore(store_dir, GramConfig(2, 2))
+        store.add_document(1, tree_from_brackets("a(b,c)"))
+        stats = store.stats()
+        assert stats["documents"] == 1
+        assert stats["nodes"] == 3
+        assert stats["pq_grams"] > 0
+        assert stats["hasher_labels"] >= 3
+
+    def test_recovery_uses_configured_engine(self, store_dir):
+        store = DocumentStore(
+            store_dir, GramConfig(2, 2), checkpoint_every=1000, engine="batch"
+        )
+        store.add_document(1, dblp_tree(15, seed=8))
+        work = store.get_document(1)
+        store.apply_edits(1, dblp_update_script(work, 5, seed=9))
+        # Reopen: WAL replay runs through the batch engine and must
+        # still land on the exact index.
+        reopened = DocumentStore(store_dir, GramConfig(2, 2), engine="batch")
+        assert reopened.get_index(1) == rebuilt(reopened, 1)
