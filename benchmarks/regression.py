@@ -1,11 +1,13 @@
 """Performance-regression gate for the Fig. 13/14 workloads.
 
 Runs the lookup bench (tree counts 16/64/256 under a shared node
-budget), the incremental-update bench (fixed log over growing trees),
-and the maintenance bench (n-op logs over a ~10k-node tree, per-op
-replay vs one batched call) at small scale, writes machine-readable
-results to ``benchmarks/results/BENCH_lookup.json`` /
-``BENCH_update.json`` / ``BENCH_maintain.json``, and exits non-zero
+budget), the sharded-backend bench (the 256-tree lookup fanned out
+over 1/4/8 shards), the incremental-update bench (fixed log over
+growing trees), and the maintenance bench (n-op logs over a ~10k-node
+tree, per-op replay vs one batched call) at small scale, writes
+machine-readable results to ``benchmarks/results/BENCH_lookup.json`` /
+``BENCH_backend.json`` / ``BENCH_update.json`` /
+``BENCH_maintain.json``, and exits non-zero
 when any measured wall time regresses more than ``TOLERANCE``× against
 the checked-in baseline::
 
@@ -49,6 +51,8 @@ TOLERANCE = 2.0
 LOOKUP_BUDGET = 60_000
 LOOKUP_TREE_COUNTS = (16, 64, 256)
 LOOKUP_TAU = 0.8
+SHARDED_TREE_COUNT = 256
+SHARDED_SHARD_COUNTS = (1, 4, 8)
 UPDATE_TREE_SIZES = (2_000, 8_000)
 UPDATE_LOG_SIZE = 20
 MAINTAIN_NODE_BUDGET = 10_000
@@ -71,6 +75,32 @@ def measure_lookup() -> Dict[str, float]:
         query = collection[tree_count // 2][1]
         service.lookup(query, LOOKUP_TAU)  # warm: compact + query cache
         times[f"lookup_trees_{tree_count}_ms"] = wall_time(
+            lambda: service.lookup(query, LOOKUP_TAU), repeats=3
+        ) * 1e3
+    return times
+
+
+def measure_backend() -> Dict[str, float]:
+    """Best-of-3 sharded-lookup wall time (ms) per shard count.
+
+    Same 256-tree workload as the largest ``measure_lookup`` point,
+    routed through ``ShardedBackend`` fan-out/merge instead of the
+    single compact sweep — the cost of partitioning must stay within
+    the gate's tolerance of the unsharded path.
+    """
+    times: Dict[str, float] = {}
+    per_tree = LOOKUP_BUDGET // SHARDED_TREE_COUNT
+    collection = [
+        (tree_id, xmark_tree(per_tree, seed=9000 + tree_id))
+        for tree_id in range(SHARDED_TREE_COUNT)
+    ]
+    for shard_count in SHARDED_SHARD_COUNTS:
+        forest = ForestIndex(CONFIG, backend="sharded", shards=shard_count)
+        forest.add_trees(collection)
+        service = LookupService(forest)
+        query = collection[SHARDED_TREE_COUNT // 2][1]
+        service.lookup(query, LOOKUP_TAU)  # warm: compact + query cache
+        times[f"sharded_lookup_shards_{shard_count}_ms"] = wall_time(
             lambda: service.lookup(query, LOOKUP_TAU), repeats=3
         ) * 1e3
     return times
@@ -141,10 +171,12 @@ def measure_maintain() -> Dict[str, float]:
 
 def run(rebaseline: bool) -> int:
     lookup = measure_lookup()
+    backend = measure_backend()
     update = measure_update()
     maintain = measure_maintain()
     for name, payload in (
         ("BENCH_lookup.json", lookup),
+        ("BENCH_backend.json", backend),
         ("BENCH_update.json", update),
         ("BENCH_maintain.json", maintain),
     ):
@@ -154,7 +186,7 @@ def run(rebaseline: bool) -> int:
     # Ratios stay out of the gate: only wall times obey "bigger is worse".
     current = {
         key: value
-        for key, value in {**lookup, **update, **maintain}.items()
+        for key, value in {**lookup, **backend, **update, **maintain}.items()
         if key.endswith("_ms")
     }
 

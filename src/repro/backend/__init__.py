@@ -1,0 +1,36 @@
+"""Pluggable storage backends for the forest index relation.
+
+One write path — :class:`~repro.backend.base.ForestBackend` — behind
+which the paper's ``(treeId, pqg, cnt)`` relation (Fig. 4b) is stored,
+with three interchangeable engines:
+
+- :class:`~repro.backend.memory.MemoryBackend` — plain dict bags and
+  inverted lists; the bit-exact reference.
+- :class:`~repro.backend.compact.CompactBackend` — the dicts plus a
+  frozen CSR array snapshot with a dirty-key overlay, so compaction
+  survives maintenance instead of being invalidated by every write.
+- :class:`~repro.backend.sharded.ShardedBackend` — postings hash-
+  partitioned by pq-gram fingerprint over N inner backends; lookups
+  fan out per shard and merge overlaps additively.
+
+All backends return bit-identical results on every read; the
+conformance suite (``tests/test_backend_conformance.py``) enforces it.
+Adding an mmap or remote backend is one new module implementing the
+ABC — nothing above the facade changes.
+"""
+
+from repro.backend.base import Admit, Bag, ForestBackend, Key, make_backend
+from repro.backend.compact import CompactBackend
+from repro.backend.memory import MemoryBackend
+from repro.backend.sharded import ShardedBackend
+
+__all__ = [
+    "ForestBackend",
+    "MemoryBackend",
+    "CompactBackend",
+    "ShardedBackend",
+    "make_backend",
+    "Admit",
+    "Bag",
+    "Key",
+]

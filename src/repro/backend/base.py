@@ -1,0 +1,226 @@
+"""The ``ForestBackend`` interface: one write path for the index relation.
+
+The paper's Fig. 4b relation ``(treeId, pqg, cnt)`` used to be
+materialized in several places with hand-synchronized write paths —
+per-tree bags, the inverted lists, the frozen array snapshot, the
+relstore table.  A :class:`ForestBackend` is now the *single* surface
+through which that relation is written and read; everything else
+(:class:`~repro.lookup.forest.ForestIndex`, the lookup service, the
+document store) is a view over one backend.
+
+Write path (all mutations flow through exactly these three methods):
+
+- :meth:`ForestBackend.add_tree_bag` — index a new tree's bag,
+- :meth:`ForestBackend.apply_tree_delta` — fold an incremental
+  maintenance delta ``I ← I ∖ minus ⊎ plus`` into one tree,
+- :meth:`ForestBackend.remove_tree` — drop a tree,
+
+plus :meth:`ForestBackend.restore` to reset the whole relation from a
+persisted snapshot.  Read path: :meth:`ForestBackend.candidates` (the
+inverted-list sweep behind lookups), per-tree bag/size accessors, raw
+posting iteration (joins), and :meth:`ForestBackend.snapshot`.
+
+Implementations must be *bit-identical* on every read: the conformance
+suite (``tests/test_backend_conformance.py``) checks each backend
+against :class:`~repro.backend.memory.MemoryBackend` over random
+forests, random edit scripts (both maintenance engines) and
+persistence round-trips.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+Key = Tuple[int, ...]
+Bag = Dict[Key, int]
+Admit = Callable[[int], bool]
+
+
+class ForestBackend(ABC):
+    """Storage engine for the forest's ``(treeId, pqg, cnt)`` relation."""
+
+    #: short machine name used for factory lookup and persistence
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def add_tree_bag(self, tree_id: int, bag: Mapping[Key, int]) -> None:
+        """Index a new tree given its pq-gram bag.
+
+        Raises :class:`~repro.errors.StorageError` if ``tree_id`` is
+        already indexed.  An empty bag is legal (the tree is registered
+        with size 0 and no postings).
+        """
+
+    @abstractmethod
+    def apply_tree_delta(
+        self, tree_id: int, minus: Mapping[Key, int], plus: Mapping[Key, int]
+    ) -> None:
+        """``I ← I ∖ minus ⊎ plus`` for one indexed tree (Lemma 2).
+
+        ``minus`` / ``plus`` are the net delta bags of one maintenance
+        call (disjoint key sets, as produced by the replay and batch
+        engines); only the O(|Δ|) touched keys are re-inverted.  Raises
+        :class:`~repro.errors.StorageError` for an unknown tree and
+        :class:`~repro.errors.IndexConsistencyError` if a subtraction
+        would drive a multiplicity below zero.
+        """
+
+    @abstractmethod
+    def remove_tree(self, tree_id: int) -> None:
+        """Drop one tree and all its postings (no-op if unknown)."""
+
+    @abstractmethod
+    def restore(self, bags: Mapping[int, Mapping[Key, int]]) -> None:
+        """Reset the whole relation to exactly ``bags`` (tree → bag).
+
+        The inverse of :meth:`snapshot`; used by relstore snapshot /
+        WAL recovery round-trips.  Any previous state (including
+        read-optimized views) is discarded.
+        """
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def candidates(
+        self,
+        query_items: Iterable[Tuple[Key, int]],
+        admit: Optional[Admit] = None,
+    ) -> Dict[int, int]:
+        """``{tree_id: |I_query ∩ I_tree|}`` for all co-occurring trees.
+
+        The inverted-list sweep behind every lookup: one pass over the
+        query's distinct ``(key, count)`` pairs accumulates the bag
+        intersection with every tree sharing at least one pq-gram.
+        ``admit`` is an optional per-tree predicate (the τ size bound);
+        when given, only admitted trees appear in the result — backends
+        may call it any number of times per tree (callers memoize).
+        """
+
+    @abstractmethod
+    def tree_bag(self, tree_id: int) -> Mapping[Key, int]:
+        """The stored bag of one tree, as a read-only mapping view.
+
+        Implementations may return internal state — callers must not
+        mutate the result.  Raises :class:`~repro.errors.StorageError`
+        for an unknown tree.
+        """
+
+    @abstractmethod
+    def tree_size(self, tree_id: int) -> int:
+        """|I| of one tree (bag cardinality).  Raises
+        :class:`~repro.errors.StorageError` for an unknown tree."""
+
+    @abstractmethod
+    def iter_sizes(self) -> Iterable[Tuple[int, int]]:
+        """All ``(tree_id, |I|)`` pairs."""
+
+    @abstractmethod
+    def postings(self, key: Key) -> Optional[Mapping[int, int]]:
+        """Posting list ``{tree_id: cnt}`` of one key, or None.
+
+        Read-only view; callers must not mutate the result.
+        """
+
+    @abstractmethod
+    def iter_postings(self) -> Iterator[Tuple[Key, Mapping[int, int]]]:
+        """All ``(key, {tree_id: cnt})`` posting lists (joins, audits)."""
+
+    @abstractmethod
+    def snapshot(self) -> Dict[int, Bag]:
+        """Deep copy of the whole relation as ``tree → bag``.
+
+        The persistence unit: relstore checkpoints serialize exactly
+        this, and :meth:`restore` accepts it back.
+        """
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of indexed trees."""
+
+    @abstractmethod
+    def __contains__(self, tree_id: int) -> bool:
+        """Whether ``tree_id`` is indexed."""
+
+    def tree_ids(self) -> Iterator[int]:
+        """All indexed tree ids."""
+        return iter([tree_id for tree_id, _ in self.iter_sizes()])
+
+    # ------------------------------------------------------------------
+    # maintenance of read-optimized views
+    # ------------------------------------------------------------------
+
+    def compact(self) -> None:
+        """(Re)build any read-optimized view of the postings.
+
+        Backends without such a view treat this as a no-op.  Results
+        are identical with or without compaction — only the sweep cost
+        changes.
+        """
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    @abstractmethod
+    def stats(self) -> Dict[str, object]:
+        """Operational counters: at least ``backend``, ``trees``,
+        ``postings`` and ``distinct_keys``."""
+
+    @abstractmethod
+    def check_consistency(self) -> None:
+        """Verify every internal invariant, raising
+        :class:`~repro.errors.IndexConsistencyError` on drift.
+
+        Re-derives the inverted lists (and any frozen view) from the
+        authoritative per-tree bags and compares — O(total postings),
+        meant for tests and audits, not hot paths.
+        """
+
+
+def make_backend(
+    spec: "str | ForestBackend",
+    shards: Optional[int] = None,
+) -> ForestBackend:
+    """Resolve a backend spec: an instance (passed through), or one of
+    the registered names ``memory`` / ``compact`` / ``sharded``.
+
+    ``shards`` is only meaningful with ``sharded`` (default 4 there);
+    passing it with any other spec is an error — it would silently do
+    nothing otherwise.
+    """
+    from repro.backend.compact import CompactBackend
+    from repro.backend.memory import MemoryBackend
+    from repro.backend.sharded import ShardedBackend
+
+    if isinstance(spec, ForestBackend):
+        if shards is not None:
+            raise ValueError(
+                "shards= cannot be combined with a backend instance"
+            )
+        return spec
+    if spec == "sharded":
+        return ShardedBackend(shards if shards is not None else 4)
+    if shards is not None:
+        raise ValueError(f"shards= is only valid with the sharded backend, not {spec!r}")
+    if spec == "memory":
+        return MemoryBackend()
+    if spec == "compact":
+        return CompactBackend()
+    raise ValueError(
+        f"unknown forest backend {spec!r} (expected memory, compact or sharded)"
+    )

@@ -1,0 +1,148 @@
+"""Array-snapshot backend with a delta overlay.
+
+The pre-backend design froze the inverted lists into a
+:class:`~repro.perf.sweep.CompactPostings` CSR snapshot and threw the
+whole snapshot away on *every* mutation — one maintained tree forced
+the next lookup to re-freeze the entire forest.  This backend keeps
+the snapshot and overlays mutations instead, the delta-file/compaction
+split of log-structured index designs: writes land in the authoritative
+dicts (inherited from :class:`~repro.backend.memory.MemoryBackend`) and
+mark their keys *dirty*; a sweep answers clean keys from the frozen
+arrays and dirty keys from the dicts, merged by addition — key sets
+are disjoint, so the merge is exact.  :meth:`compact` re-freezes only
+when the dirty set has grown past a threshold, amortizing snapshot
+construction over many maintenance batches.
+
+Degrades to the plain dict sweep when numpy is unavailable — results
+are identical either way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.backend.base import Admit, Key
+from repro.backend.memory import MemoryBackend
+from repro.errors import IndexConsistencyError
+from repro.perf.arraybag import HAVE_NUMPY
+
+
+class CompactBackend(MemoryBackend):
+    """Dict write path + frozen CSR sweep with a dirty-key overlay."""
+
+    name = "compact"
+
+    #: re-freeze when the dirty keys exceed this fraction of all keys
+    REFREEZE_FRACTION = 0.25
+    #: ... but never below this absolute count (tiny forests churn)
+    REFREEZE_MIN_DIRTY = 64
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._frozen = None  # CompactPostings or None
+        self._dirty: Set[Key] = set()
+
+    # ------------------------------------------------------------------
+    # view maintenance hooks (called by every MemoryBackend mutation)
+    # ------------------------------------------------------------------
+
+    def _touched(self, keys: Iterable[Key]) -> None:
+        # Every mutation path funnels through here: the snapshot is
+        # never consulted for a key that changed after the freeze.
+        if self._frozen is not None:
+            self._dirty.update(keys)
+
+    def _reset_views(self) -> None:
+        self._frozen = None
+        self._dirty.clear()
+
+    # ------------------------------------------------------------------
+    # compaction policy
+    # ------------------------------------------------------------------
+
+    def _stale(self) -> bool:
+        if self._frozen is None:
+            return True
+        threshold = max(
+            self.REFREEZE_MIN_DIRTY,
+            int(self.REFREEZE_FRACTION * max(1, len(self._inverted))),
+        )
+        return len(self._dirty) > threshold
+
+    def compact(self) -> None:
+        """Freeze (or re-freeze, past the dirty threshold) the CSR
+        snapshot.  A no-op without numpy."""
+        if not HAVE_NUMPY:
+            return
+        if self._stale():
+            from repro.perf.sweep import CompactPostings
+
+            self._frozen = CompactPostings.build(self._inverted, self._sizes)
+            self._dirty.clear()
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def candidates(
+        self,
+        query_items: Iterable[Tuple[Key, int]],
+        admit: Optional[Admit] = None,
+    ) -> Dict[int, int]:
+        if self._frozen is None:
+            return super().candidates(query_items, admit)
+        dirty = self._dirty
+        clean: List[Tuple[Key, int]] = []
+        overlay: List[Tuple[Key, int]] = []
+        for item in query_items:
+            (overlay if item[0] in dirty else clean).append(item)
+        merged = self._frozen.sweep(clean) if clean else {}
+        if overlay:
+            for tree_id, shared in super().candidates(overlay).items():
+                merged[tree_id] = merged.get(tree_id, 0) + shared
+        if admit is None:
+            return merged
+        return {
+            tree_id: shared
+            for tree_id, shared in merged.items()
+            if admit(tree_id)
+        }
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        stats = super().stats()
+        stats["backend"] = self.name
+        stats["frozen"] = self._frozen is not None
+        stats["dirty_keys"] = len(self._dirty)
+        return stats
+
+    def check_consistency(self) -> None:
+        super().check_consistency()
+        frozen = self._frozen
+        if frozen is None:
+            return
+        # Every clean key's frozen posting list must match the live
+        # dicts exactly — i.e. no mutation escaped the dirty set.
+        for key, (start, end) in frozen.spans.items():
+            if key in self._dirty:
+                continue
+            stored = {
+                frozen.tree_ids[slot]: int(count)
+                for slot, count in zip(
+                    frozen.slots[start:end], frozen.counts[start:end]
+                )
+            }
+            if stored != self._inverted.get(key, {}):
+                raise IndexConsistencyError(
+                    f"frozen postings of clean key {key} drifted from the "
+                    "live inverted lists (a mutation escaped the overlay)"
+                )
+        for key in self._inverted:
+            if key not in frozen.spans and key not in self._dirty:
+                raise IndexConsistencyError(
+                    f"key {key} is missing from the frozen snapshot but "
+                    "was never marked dirty"
+                )

@@ -1,0 +1,236 @@
+"""Hash-partitioned backend: N inner backends, one per postings shard.
+
+Postings are partitioned by pq-gram fingerprint —
+``combine_fingerprints(key) % shards`` — so every key (and therefore
+every posting list) lives in exactly one shard, writes touch only the
+shards their delta keys hash to, and a lookup fans its query keys out
+per shard and merges the per-shard overlaps by addition (a tree's
+total overlap is the sum of its per-shard overlaps because the key
+sets are disjoint).  The final distances still come from the one
+shared :func:`~repro.core.distance.distance_from_overlap` kernel in
+the facade.
+
+Tree membership and |I| metadata live at the top level; every shard
+registers every tree (possibly with an empty sub-bag) so the write
+path never has to special-case "first key of this tree in shard k".
+
+``parallel=True`` fans :meth:`candidates` and :meth:`compact` out over
+a thread pool — worthwhile when the inner backends are numpy-frozen
+:class:`~repro.backend.compact.CompactBackend` shards (vector sweeps
+release the GIL); pure-dict shards gain little.  Results are identical
+either way.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.backend.base import Admit, Bag, ForestBackend, Key
+from repro.backend.compact import CompactBackend
+from repro.errors import IndexConsistencyError, StorageError
+from repro.hashing.fingerprint import combine_fingerprints
+
+
+class ShardedBackend(ForestBackend):
+    """Fingerprint-partitioned postings over N inner backends."""
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        shards: int = 4,
+        inner_factory: Optional[Callable[[], ForestBackend]] = None,
+        parallel: bool = False,
+    ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        factory = inner_factory or CompactBackend
+        self.shards: List[ForestBackend] = [factory() for _ in range(shards)]
+        self._sizes: Dict[int, int] = {}
+        self._parallel = parallel and shards > 1
+        self._pool = None
+
+    # ------------------------------------------------------------------
+    # partitioning
+    # ------------------------------------------------------------------
+
+    def shard_of(self, key: Key) -> int:
+        """The shard index owning one pq-gram key."""
+        return combine_fingerprints(key) % len(self.shards)
+
+    def _split(self, bag: Mapping[Key, int]) -> List[Bag]:
+        parts: List[Bag] = [{} for _ in self.shards]
+        shard_of = self.shard_of
+        for key, count in bag.items():
+            parts[shard_of(key)][key] = count
+        return parts
+
+    def _map(self, calls: List[Callable[[], object]]) -> List[object]:
+        """Run one thunk per shard, threaded when ``parallel``."""
+        if not self._parallel or len(calls) < 2:
+            return [call() for call in calls]
+        if self._pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._pool = ThreadPoolExecutor(
+                max_workers=len(self.shards),
+                thread_name_prefix="forest-shard",
+            )
+        return list(self._pool.map(lambda call: call(), calls))
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def add_tree_bag(self, tree_id: int, bag: Mapping[Key, int]) -> None:
+        if tree_id in self._sizes:
+            raise StorageError(f"tree id {tree_id} is already indexed")
+        parts = self._split(bag)
+        for shard, part in zip(self.shards, parts):
+            shard.add_tree_bag(tree_id, part)
+        self._sizes[tree_id] = sum(bag.values())
+
+    def apply_tree_delta(
+        self, tree_id: int, minus: Mapping[Key, int], plus: Mapping[Key, int]
+    ) -> None:
+        if tree_id not in self._sizes:
+            raise StorageError(f"tree id {tree_id} is not indexed")
+        minus_parts = self._split(minus)
+        plus_parts = self._split(plus)
+        for shard, minus_part, plus_part in zip(
+            self.shards, minus_parts, plus_parts
+        ):
+            if minus_part or plus_part:
+                shard.apply_tree_delta(tree_id, minus_part, plus_part)
+        self._sizes[tree_id] += sum(plus.values()) - sum(minus.values())
+
+    def remove_tree(self, tree_id: int) -> None:
+        if self._sizes.pop(tree_id, None) is None:
+            return
+        for shard in self.shards:
+            shard.remove_tree(tree_id)
+
+    def restore(self, bags: Mapping[int, Mapping[Key, int]]) -> None:
+        per_shard: List[Dict[int, Bag]] = [{} for _ in self.shards]
+        sizes: Dict[int, int] = {}
+        for tree_id, bag in bags.items():
+            sizes[tree_id] = sum(bag.values())
+            for index, part in enumerate(self._split(bag)):
+                per_shard[index][tree_id] = part
+        for shard, shard_bags in zip(self.shards, per_shard):
+            shard.restore(shard_bags)
+        self._sizes = sizes
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def candidates(
+        self,
+        query_items: Iterable[Tuple[Key, int]],
+        admit: Optional[Admit] = None,
+    ) -> Dict[int, int]:
+        groups: List[List[Tuple[Key, int]]] = [[] for _ in self.shards]
+        shard_of = self.shard_of
+        for item in query_items:
+            groups[shard_of(item[0])].append(item)
+        busy = [
+            (shard, group)
+            for shard, group in zip(self.shards, groups)
+            if group
+        ]
+        # A tree admitted by the τ size bound is admitted in every
+        # shard (the predicate depends only on the tree), so per-shard
+        # filtering composes with the additive merge.
+        parts = self._map(
+            [
+                (lambda s=shard, g=group: s.candidates(g, admit))
+                for shard, group in busy
+            ]
+        )
+        merged: Dict[int, int] = {}
+        for part in parts:
+            for tree_id, shared in part.items():  # type: ignore[union-attr]
+                merged[tree_id] = merged.get(tree_id, 0) + shared
+        return merged
+
+    def tree_bag(self, tree_id: int) -> Mapping[Key, int]:
+        if tree_id not in self._sizes:
+            raise StorageError(f"tree id {tree_id} is not indexed")
+        merged: Bag = {}
+        for shard in self.shards:
+            merged.update(shard.tree_bag(tree_id))
+        return merged
+
+    def tree_size(self, tree_id: int) -> int:
+        try:
+            return self._sizes[tree_id]
+        except KeyError:
+            raise StorageError(f"tree id {tree_id} is not indexed") from None
+
+    def iter_sizes(self) -> Iterable[Tuple[int, int]]:
+        return self._sizes.items()
+
+    def postings(self, key: Key) -> Optional[Mapping[int, int]]:
+        return self.shards[self.shard_of(key)].postings(key)
+
+    def iter_postings(self) -> Iterator[Tuple[Key, Mapping[int, int]]]:
+        for shard in self.shards:
+            yield from shard.iter_postings()
+
+    def snapshot(self) -> Dict[int, Bag]:
+        merged: Dict[int, Bag] = {tree_id: {} for tree_id in self._sizes}
+        for shard in self.shards:
+            for tree_id, bag in shard.snapshot().items():
+                merged[tree_id].update(bag)
+        return merged
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def __contains__(self, tree_id: int) -> bool:
+        return tree_id in self._sizes
+
+    # ------------------------------------------------------------------
+    # view maintenance + observability
+    # ------------------------------------------------------------------
+
+    def compact(self) -> None:
+        self._map([shard.compact for shard in self.shards])
+
+    def stats(self) -> Dict[str, object]:
+        inner = [shard.stats() for shard in self.shards]
+        return {
+            "backend": self.name,
+            "shards": len(self.shards),
+            "trees": len(self._sizes),
+            "postings": sum(int(stat["postings"]) for stat in inner),
+            "distinct_keys": sum(int(stat["distinct_keys"]) for stat in inner),
+            "shard_postings": [int(stat["postings"]) for stat in inner],
+        }
+
+    def check_consistency(self) -> None:
+        for shard in self.shards:
+            shard.check_consistency()
+        # Keys must live in exactly the shard their fingerprint picks,
+        # and the top-level sizes must equal the sum over shards.
+        for index, shard in enumerate(self.shards):
+            for key, _ in shard.iter_postings():
+                if self.shard_of(key) != index:
+                    raise IndexConsistencyError(
+                        f"key {key} stored in shard {index} but hashes "
+                        f"to shard {self.shard_of(key)}"
+                    )
+        totals: Dict[int, int] = {tree_id: 0 for tree_id in self._sizes}
+        for shard in self.shards:
+            for tree_id, size in shard.iter_sizes():
+                if tree_id not in totals:
+                    raise IndexConsistencyError(
+                        f"tree {tree_id} indexed in a shard but not at "
+                        "the top level"
+                    )
+                totals[tree_id] += size
+        if totals != self._sizes:
+            raise IndexConsistencyError(
+                "top-level sizes drifted from the per-shard bags"
+            )

@@ -7,13 +7,14 @@ over XML files and store directories:
 - ``distance``  pq-gram distance between two XML files
 - ``diff``      edit script between two XML file versions
 - ``store ...`` manage a durable document store:
-  ``store add / edit / applylog / lookup / list / show / stats``
+  ``store create / add / edit / applylog / lookup / list / show / stats``
 
 Examples::
 
     python -m repro index doc.xml --p 2 --q 3
     python -m repro distance old.xml new.xml
     python -m repro diff old.xml new.xml > edits.log
+    python -m repro store --dir ./mystore create --backend sharded --shards 4
     python -m repro store --dir ./mystore add 1 doc.xml
     python -m repro store --dir ./mystore edit 1 edits.log
     python -m repro store --dir ./mystore applylog 1 edits.log --engine batch --jobs 4
@@ -32,6 +33,7 @@ from repro.core.distance import pq_gram_distance
 from repro.core.index import PQGramIndex
 from repro.edits.diff import diff_trees
 from repro.edits.serialize import format_operations, parse_operations
+from repro.errors import StorageError
 from repro.hashing.labelhash import LabelHasher
 from repro.service.store import DocumentStore
 from repro.tree.traversal import tree_depth
@@ -83,6 +85,25 @@ def _build_parser() -> argparse.ArgumentParser:
     store_parser.add_argument("--dir", required=True, help="store directory")
     _add_gram_arguments(store_parser)
     store_commands = store_parser.add_subparsers(dest="store_command", required=True)
+
+    create_parser = store_commands.add_parser(
+        "create",
+        help="create an empty store with an explicit storage backend",
+    )
+    create_parser.add_argument(
+        "--backend",
+        choices=("memory", "compact", "sharded"),
+        default="compact",
+        help="forest storage backend (default compact: array snapshot "
+        "with a delta overlay; all backends are bit-identical)",
+    )
+    create_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="partition postings into N shards (sharded backend only)",
+    )
 
     add_parser = store_commands.add_parser("add", help="add an XML document")
     add_parser.add_argument("doc_id", type=int)
@@ -149,7 +170,8 @@ def _build_parser() -> argparse.ArgumentParser:
 
     store_commands.add_parser(
         "stats",
-        help="store-wide counters (documents, pq-grams, hasher memo)",
+        help="store-wide counters (documents, pq-grams, backend "
+        "postings incl. per-shard breakdown, hasher memo)",
     )
 
     show_parser = store_commands.add_parser("show", help="document statistics")
@@ -213,6 +235,22 @@ def _command_diff(arguments: argparse.Namespace) -> int:
 
 
 def _command_store(arguments: argparse.Namespace) -> int:
+    if arguments.store_command == "create":
+        import os
+
+        if os.path.exists(os.path.join(arguments.dir, "store.db")):
+            raise StorageError(f"store already exists at {arguments.dir}")
+        store = DocumentStore(
+            arguments.dir,
+            GramConfig(arguments.p, arguments.q),
+            backend=arguments.backend,
+            shards=arguments.shards,
+        )
+        described = store.backend_name
+        if described == "sharded":
+            described += f" ({store.stats()['shards']} shards)"
+        print(f"created store at {arguments.dir} (backend {described})")
+        return 0
     store = DocumentStore(arguments.dir, GramConfig(arguments.p, arguments.q))
     if arguments.store_command == "add":
         store.add_document(arguments.doc_id, tree_from_xml(arguments.file))

@@ -46,6 +46,28 @@ class PQGramIndex:
             counts[key] = counts.get(key, 0) + 1
         return cls(config, counts)
 
+    @classmethod
+    def from_bag_view(
+        cls,
+        config: GramConfig,
+        counts: Mapping[Key, int],
+        total: Optional[int] = None,
+    ) -> "PQGramIndex":
+        """Wrap an existing bag mapping *without copying it*.
+
+        The storage-backend fast path: the returned index shares the
+        caller's mapping, so it must be treated as read-only (use
+        :meth:`copy` before :meth:`apply_delta` — the maintenance
+        engines already do).  ``total`` skips the O(distinct) cardinality
+        sum when the caller tracks it.
+        """
+        index = cls.__new__(cls)
+        index.config = config
+        index._counts = counts  # type: ignore[assignment]
+        index._total = sum(counts.values()) if total is None else total
+        index._array_bag = None
+        return index
+
     def copy(self) -> "PQGramIndex":
         """Independent copy."""
         return PQGramIndex(self.config, dict(self._counts))

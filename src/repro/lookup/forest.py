@@ -1,21 +1,24 @@
-"""The persistent forest index.
+"""The persistent forest index: a facade over one storage backend.
 
 Stores the pq-gram indexes of a whole collection of trees in one
-relation ``(treeId, pqg, cnt)`` (paper Fig. 4b), backed by the embedded
-relational store so it survives process restarts, plus an in-memory
-inverted list ``pqg → [(treeId, cnt)]`` that lets a lookup intersect
-the query's bag with every candidate in one pass over the query's
-distinct pq-grams.
+relation ``(treeId, pqg, cnt)`` (paper Fig. 4b).  The relation itself
+lives in a pluggable :class:`~repro.backend.base.ForestBackend` —
+plain dicts, an array snapshot with a delta overlay, or a
+hash-partitioned shard fan-out — and this class owns everything the
+backends deliberately know nothing about: the gram configuration, the
+shared label hasher, index construction, the maintenance engines, and
+the τ-aware distance arithmetic over the backend's candidate sweep.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
+from repro.backend.base import Bag, ForestBackend, Key, make_backend
 from repro.core.config import GramConfig
 from repro.core.distance import distance_from_overlap, size_bound_admits
-from repro.core.index import Bag, PQGramIndex
+from repro.core.index import PQGramIndex
 from repro.core.maintain import update_index_replay_delta
 from repro.edits.ops import EditOperation
 from repro.errors import StorageError
@@ -24,19 +27,31 @@ from repro.relstore.database import Database
 from repro.relstore.schema import Column, Schema
 from repro.tree.tree import Tree
 
-Key = Tuple[int, ...]
-
 
 class ForestIndex:
-    """pq-gram indexes of a forest, with persistence and maintenance."""
+    """pq-gram indexes of a forest, with persistence and maintenance.
 
-    def __init__(self, config: Optional[GramConfig] = None) -> None:
+    ``backend`` selects the storage engine — ``"memory"``,
+    ``"compact"`` (default), ``"sharded"`` (with ``shards=N``), or any
+    :class:`~repro.backend.base.ForestBackend` instance.  Every
+    backend is bit-identical on lookups and maintenance; only the
+    sweep cost and scaling behaviour differ.
+    """
+
+    def __init__(
+        self,
+        config: Optional[GramConfig] = None,
+        backend: Union[str, ForestBackend] = "compact",
+        shards: Optional[int] = None,
+    ) -> None:
         self.config = config or GramConfig()
         self.hasher = LabelHasher()
-        self._indexes: Dict[int, PQGramIndex] = {}
-        self._inverted: Dict[Key, Dict[int, int]] = {}
-        self._sizes: Dict[int, int] = {}   # tree id → |I| (lookup pruning)
-        self._compact = None               # CompactPostings snapshot or None
+        self._backend = make_backend(backend, shards=shards)
+
+    @property
+    def backend(self) -> ForestBackend:
+        """The storage backend holding the index relation."""
+        return self._backend
 
     # ------------------------------------------------------------------
     # building and maintaining
@@ -44,14 +59,17 @@ class ForestIndex:
 
     def add_tree(self, tree_id: int, tree: Tree) -> None:
         """Index a new tree of the forest."""
-        if tree_id in self._indexes:
-            raise StorageError(f"tree id {tree_id} is already indexed")
-        self._insert(tree_id, PQGramIndex.from_tree(tree, self.config, self.hasher))
+        index = PQGramIndex.from_tree(tree, self.config, self.hasher)
+        self._backend.add_tree_bag(tree_id, dict(index.items()))
 
     def add_trees(
         self, items: Iterable[Tuple[int, Tree]], jobs: Optional[int] = None
     ) -> None:
         """Index a batch of trees, optionally in parallel.
+
+        The batch is validated up front — against the forest *and*
+        against itself — so either every tree is added or none is
+        (a duplicate id can never leave a partial commit behind).
 
         ``jobs`` > 1 fans the per-tree bag construction out over worker
         processes (``repro.perf.parallel``) and merges the workers'
@@ -60,35 +78,25 @@ class ForestIndex:
         way.
         """
         items = list(items)
+        seen: set = set()
         for tree_id, _ in items:
-            if tree_id in self._indexes:
+            if tree_id in self._backend or tree_id in seen:
                 raise StorageError(f"tree id {tree_id} is already indexed")
+            seen.add(tree_id)
         if jobs is not None and jobs > 1 and len(items) > 1:
             from repro.perf.parallel import build_bags_parallel
 
             bags, memo = build_bags_parallel(items, self.config, jobs)
             self.hasher.absorb_memo(memo)
             for tree_id, bag in bags:
-                self._insert(tree_id, PQGramIndex(self.config, bag))
+                self._backend.add_tree_bag(tree_id, bag)
         else:
             for tree_id, tree in items:
-                self._insert(
-                    tree_id, PQGramIndex.from_tree(tree, self.config, self.hasher)
-                )
+                self.add_tree(tree_id, tree)
 
     def remove_tree(self, tree_id: int) -> None:
         """Drop a tree from the forest index."""
-        index = self._indexes.pop(tree_id, None)
-        if index is None:
-            return
-        del self._sizes[tree_id]
-        self._compact = None
-        for key, _ in index.items():
-            postings = self._inverted.get(key)
-            if postings is not None:
-                postings.pop(tree_id, None)
-                if not postings:
-                    del self._inverted[key]
+        self._backend.remove_tree(tree_id)
 
     def update_tree(
         self,
@@ -103,9 +111,9 @@ class ForestIndex:
 
         ``tree`` is the resulting document and ``log`` the inverse
         operations — the exact inputs of the paper's scenario (Fig. 1).
-        The inverted lists are maintained from the update's delta bags,
-        touching only the O(|Δ|) keys whose multiplicity changed rather
-        than un-inverting and re-inverting the whole bag.
+        The net delta bags of the update are handed to the backend,
+        which touches only the O(|Δ|) keys whose multiplicity changed
+        rather than un-inverting and re-inverting the whole bag.
 
         ``engine`` selects ``"replay"`` (default) or ``"batch"`` (the
         batched engine: log compaction, commuting groups, optionally
@@ -117,7 +125,7 @@ class ForestIndex:
         if engine == "batch":
             from repro.core.batch import update_index_batch_delta
 
-            new_index, minus, plus = update_index_batch_delta(
+            _, minus, plus = update_index_batch_delta(
                 old_index,
                 tree,
                 log,
@@ -126,80 +134,75 @@ class ForestIndex:
                 jobs=jobs,
             )
         elif engine == "replay":
-            new_index, minus, plus = update_index_replay_delta(
+            _, minus, plus = update_index_replay_delta(
                 old_index, tree, log, self.hasher, compact=bool(compact)
             )
         else:
             raise ValueError(f"unknown maintenance engine {engine!r}")
-        self._indexes[tree_id] = new_index
-        self._sizes[tree_id] = new_index.size()
-        self._compact = None
-        for key in minus.keys() | plus.keys():
-            count = new_index.count(key)
-            if count:
-                self._inverted.setdefault(key, {})[tree_id] = count
-            else:
-                postings = self._inverted.get(key)
-                if postings is not None:
-                    postings.pop(tree_id, None)
-                    if not postings:
-                        del self._inverted[key]
-
-    def _insert(self, tree_id: int, index: PQGramIndex) -> None:
-        self._indexes[tree_id] = index
-        self._sizes[tree_id] = index.size()
-        self._compact = None
-        self._invert(tree_id, index)
-
-    def _invert(self, tree_id: int, index: PQGramIndex) -> None:
-        for key, count in index.items():
-            self._inverted.setdefault(key, {})[tree_id] = count
+        self._backend.apply_tree_delta(tree_id, minus, plus)
 
     # ------------------------------------------------------------------
     # access
     # ------------------------------------------------------------------
 
     def index_of(self, tree_id: int) -> PQGramIndex:
-        """The stored index of one tree."""
-        try:
-            return self._indexes[tree_id]
-        except KeyError:
-            raise StorageError(f"tree id {tree_id} is not indexed") from None
+        """The stored index of one tree.
+
+        A zero-copy view over the backend's bag — treat it as
+        read-only, exactly like the live objects the pre-backend
+        implementation returned.
+        """
+        return PQGramIndex.from_bag_view(
+            self.config,
+            self._backend.tree_bag(tree_id),
+            total=self._backend.tree_size(tree_id),
+        )
 
     def size_of(self, tree_id: int) -> int:
         """|I| of one tree, from the per-tree size metadata."""
-        try:
-            return self._sizes[tree_id]
-        except KeyError:
-            raise StorageError(f"tree id {tree_id} is not indexed") from None
+        return self._backend.tree_size(tree_id)
 
     def tree_ids(self) -> Iterator[int]:
         """All indexed tree ids."""
-        return iter(self._indexes)
+        return self._backend.tree_ids()
 
     def __len__(self) -> int:
-        return len(self._indexes)
+        return len(self._backend)
 
     def __contains__(self, tree_id: int) -> bool:
-        return tree_id in self._indexes
+        return tree_id in self._backend
+
+    def postings(self, key: Key) -> Optional[Dict[int, int]]:
+        """Posting list ``{treeId: cnt}`` of one pq-gram key (read-only
+        view), or None when no tree holds the key."""
+        return self._backend.postings(key)  # type: ignore[return-value]
+
+    def iter_postings(self) -> Iterator[Tuple[Key, Dict[int, int]]]:
+        """All ``(key, postings)`` pairs (read-only views) — the raw
+        inverted lists, for joins and audits."""
+        return self._backend.iter_postings()  # type: ignore[return-value]
+
+    def inverted_lists(self) -> Dict[Key, Dict[int, int]]:
+        """A materialized copy of the inverted lists ``key →
+        {treeId: cnt}`` — O(total postings); for tests and audits."""
+        return {
+            key: dict(postings) for key, postings in self._backend.iter_postings()
+        }
 
     # ------------------------------------------------------------------
     # distance against the whole forest
     # ------------------------------------------------------------------
 
     def compact(self) -> None:
-        """Freeze the inverted lists into array-backed postings.
+        """(Re)build the backend's read-optimized postings view.
 
-        The array form (``repro.perf.sweep``) makes the lookup sweep a
-        handful of vector operations per query pq-gram.  It is a
-        snapshot: any later mutation invalidates it and the next call
-        rebuilds.  A no-op without numpy — the dict sweep stays in
-        charge.
+        For the array-snapshot backend this freezes the inverted lists
+        into CSR arrays (``repro.perf.sweep``) — the lookup sweep
+        becomes a handful of vector operations per query pq-gram, and
+        later mutations overlay the snapshot instead of discarding it.
+        A no-op for the plain dict backend or without numpy.
         """
-        from repro.perf.sweep import HAVE_NUMPY, CompactPostings
-
-        if HAVE_NUMPY and self._compact is None:
-            self._compact = CompactPostings.build(self._inverted, self._sizes)
+        self._backend.compact()
 
     def distances(
         self, query: PQGramIndex, tau: Optional[float] = None
@@ -208,9 +211,9 @@ class ForestIndex:
 
         Without ``tau``: the distance to *every* indexed tree — one
         pass over the query's distinct pq-grams accumulates the bag
-        intersections via the inverted lists, then every tree gets its
-        distance (trees sharing no pq-gram fall back to the no-overlap
-        distance).
+        intersections via the backend's candidate sweep, then every
+        tree gets its distance (trees sharing no pq-gram fall back to
+        the no-overlap distance).
 
         With ``tau``: exactly the trees with ``distance < tau``.  The
         threshold is pushed into the scan — for ``tau ≤ 1`` trees
@@ -238,25 +241,14 @@ class ForestIndex:
 
     def _sweep(self, query: PQGramIndex) -> Dict[int, int]:
         """``{tree_id: |I_query ∩ I_tree|}`` for all co-occurring trees."""
-        if self._compact is not None:
-            return self._compact.sweep(query.items())
-        intersections: Dict[int, int] = {}
-        for key, query_count in query.items():
-            postings = self._inverted.get(key)
-            if not postings:
-                continue
-            for tree_id, count in postings.items():
-                intersections[tree_id] = intersections.get(tree_id, 0) + min(
-                    query_count, count
-                )
-        return intersections
+        return self._backend.candidates(query.items())
 
     def _distances_full(
         self, query: PQGramIndex, query_size: int
     ) -> Dict[int, float]:
-        intersections = self._sweep(query)
+        intersections = self._backend.candidates(query.items())
         result: Dict[int, float] = {}
-        for tree_id, size in self._sizes.items():
+        for tree_id, size in self._backend.iter_sizes():
             result[tree_id] = distance_from_overlap(
                 intersections.get(tree_id, 0), query_size + size
             )
@@ -268,43 +260,33 @@ class ForestIndex:
         result: Dict[int, float] = {}
         if tau <= 0.0:
             return result  # distance < tau ≤ 0 is impossible
+        backend = self._backend
         if query_size == 0:
             # Degenerate empty query: distance 0 to empty trees (never
             # in any posting list), 1 to everything else.
-            for tree_id, size in self._sizes.items():
+            for tree_id, size in backend.iter_sizes():
                 if size == 0:
                     result[tree_id] = 0.0
             return result
-        sizes = self._sizes
-        if self._compact is not None:
-            # Vectorized sweep, size filter on the candidates after.
-            for tree_id, shared in self._compact.sweep(query.items()).items():
-                size = sizes[tree_id]
-                if not size_bound_admits(query_size, size, tau):
-                    continue
-                distance = distance_from_overlap(shared, query_size + size)
-                if distance < tau:
-                    result[tree_id] = distance
-            return result
-        # Dict sweep: the size filter already gates the accumulation, so
-        # hopeless trees never even enter the intersection map.
+        # The τ size bound, memoized per tree so backends may consult
+        # it as often as their sweep shape requires.
         admitted: Dict[int, bool] = {}
-        intersections: Dict[int, int] = {}
-        for key, query_count in query.items():
-            postings = self._inverted.get(key)
-            if not postings:
-                continue
-            for tree_id, count in postings.items():
-                admit = admitted.get(tree_id)
-                if admit is None:
-                    admit = size_bound_admits(query_size, sizes[tree_id], tau)
-                    admitted[tree_id] = admit
-                if admit:
-                    intersections[tree_id] = intersections.get(
-                        tree_id, 0
-                    ) + min(query_count, count)
-        for tree_id, shared in intersections.items():
-            distance = distance_from_overlap(shared, query_size + sizes[tree_id])
+
+        def admit(tree_id: int) -> bool:
+            verdict = admitted.get(tree_id)
+            if verdict is None:
+                verdict = size_bound_admits(
+                    query_size, backend.tree_size(tree_id), tau
+                )
+                admitted[tree_id] = verdict
+            return verdict
+
+        for tree_id, shared in backend.candidates(
+            query.items(), admit=admit
+        ).items():
+            distance = distance_from_overlap(
+                shared, query_size + backend.tree_size(tree_id)
+            )
             if distance < tau:
                 result[tree_id] = distance
         return result
@@ -320,22 +302,31 @@ class ForestIndex:
             Column("cnt", int),
         ]
     )
+    _META_SCHEMA = Schema([Column("key", str), Column("value", str)])
 
     def save(self, path: str) -> None:
-        """Persist the forest index relation (treeId, pqg, cnt)."""
+        """Persist the forest index relation (treeId, pqg, cnt).
+
+        The snapshot is one backend :meth:`~repro.backend.base.ForestBackend.snapshot`
+        round-trip plus the gram configuration and the backend choice,
+        so :meth:`load` reconstructs an identically-configured forest.
+        """
         database = Database()
         meta = database.create_table(
-            "meta",
-            Schema([Column("key", str), Column("value", int)]),
-            primary_key=("key",),
+            "meta", self._META_SCHEMA, primary_key=("key",)
         )
-        meta.insert({"key": "p", "value": self.config.p})
-        meta.insert({"key": "q", "value": self.config.q})
+        meta.insert({"key": "p", "value": str(self.config.p)})
+        meta.insert({"key": "q", "value": str(self.config.q)})
+        meta.insert({"key": "backend", "value": self._backend.name})
+        if self._backend.name == "sharded":
+            meta.insert(
+                {"key": "shards", "value": str(len(self._backend.shards))}  # type: ignore[attr-defined]
+            )
         table = database.create_table(
             "forest", self._SCHEMA, primary_key=("treeId", "pqg")
         )
-        for tree_id, index in self._indexes.items():
-            for key, count in index.items():
+        for tree_id, bag in self._backend.snapshot().items():
+            for key, count in bag.items():
                 table.insert({"treeId": tree_id, "pqg": key, "cnt": count})
         database.save(path)
 
@@ -348,16 +339,21 @@ class ForestIndex:
         meta = {
             row["key"]: row["value"] for row in database.table("meta").scan_dicts()
         }
-        forest = cls(GramConfig(meta["p"], meta["q"]))
+        shards = meta.get("shards")
+        forest = cls(
+            GramConfig(int(meta["p"]), int(meta["q"])),
+            backend=meta.get("backend", "compact"),
+            shards=int(shards) if shards is not None else None,
+        )
         bags: Dict[int, Bag] = {}
         for row in database.table("forest").scan_dicts():
             bags.setdefault(row["treeId"], {})[row["pqg"]] = row["cnt"]
-        for tree_id, bag in bags.items():
-            forest._insert(tree_id, PQGramIndex(forest.config, bag))
+        forest._backend.restore(bags)
         return forest
 
     def serialized_size_bytes(self) -> int:
         """Approximate on-disk footprint of the index relation."""
         return sum(
-            index.serialized_size_bytes() for index in self._indexes.values()
+            self.index_of(tree_id).serialized_size_bytes()
+            for tree_id in self._backend.tree_ids()
         )

@@ -68,8 +68,8 @@ def similarity_join(
     )
 
     intersections: Dict[Tuple[int, int], int] = {}
-    for key, left_postings in left._inverted.items():
-        right_postings = right._inverted.get(key)
+    for key, left_postings in left.iter_postings():
+        right_postings = right.postings(key)
         if not right_postings:
             continue
         for left_id, left_cnt in left_postings.items():

@@ -18,7 +18,7 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core.config import GramConfig
 from repro.core.distance import index_distance
@@ -70,6 +70,28 @@ class LookupService:
         self.query_cache_hits = 0
         self.query_cache_misses = 0
 
+    @classmethod
+    def for_collection(
+        cls,
+        collection: Iterable[Tuple[int, Tree]],
+        config: Optional[GramConfig] = None,
+        backend: str = "compact",
+        shards: Optional[int] = None,
+        jobs: Optional[int] = None,
+        **kwargs: object,
+    ) -> "LookupService":
+        """Build a forest over ``collection`` and wrap it in a service.
+
+        ``backend`` / ``shards`` pick the forest's storage engine
+        (memory, compact, or sharded over N partitions) and ``jobs``
+        fans the per-tree index construction out over worker
+        processes; remaining keyword arguments go to the service
+        constructor.
+        """
+        forest = ForestIndex(config, backend=backend, shards=shards)
+        forest.add_trees(collection, jobs=jobs)
+        return cls(forest, **kwargs)  # type: ignore[arg-type]
+
     def query_index(self, query: Tree) -> PQGramIndex:
         """The query's pq-gram index, via the per-fingerprint LRU."""
         if self._query_cache_size == 0:
@@ -119,6 +141,11 @@ class LookupService:
     def hasher_stats(self) -> Dict[str, int]:
         """Memo statistics of the forest's shared label hasher."""
         return self.forest.hasher.stats()
+
+    def backend_stats(self) -> Dict[str, object]:
+        """Operational counters of the forest's storage backend
+        (posting totals, per-shard breakdown for sharded forests)."""
+        return self.forest.backend.stats()
 
     def lookup(self, query: Tree, tau: float) -> LookupResult:
         """All forest trees within pq-gram distance ``tau`` of the

@@ -135,13 +135,17 @@ def build_forest_parallel(
     collection: Iterable[Item],
     config: Optional[GramConfig] = None,
     jobs: Optional[int] = None,
+    backend: str = "compact",
+    shards: Optional[int] = None,
 ):
     """A :class:`~repro.lookup.forest.ForestIndex` over ``collection``,
     with the per-tree index construction fanned out over ``jobs``
-    worker processes (default: all cores).  Identical to the serial
-    ``add_tree`` loop in every observable way."""
+    worker processes (default: all cores).  ``backend`` / ``shards``
+    pick the forest's storage engine — a sharded build partitions the
+    workers' bags by fingerprint as they are ingested.  Identical to
+    the serial ``add_tree`` loop in every observable way."""
     from repro.lookup.forest import ForestIndex
 
-    forest = ForestIndex(config)
+    forest = ForestIndex(config, backend=backend, shards=shards)
     forest.add_trees(collection, jobs=jobs)
     return forest

@@ -13,13 +13,22 @@ Commit protocol for ``apply_edits``:
 1. append the batch (document id + serialized operations) to the WAL
    and fsync — the batch is now durable,
 2. apply the operations to the in-memory document,
-3. incrementally maintain the in-memory index (replay engine),
+3. incrementally maintain the index through the store's configured
+   maintenance engine — ``"replay"`` (one δ/U sweep per logged
+   operation; exact for every valid log, including ``Move``) or
+   ``"batch"`` (log compaction + commuting-group partitioning +
+   single O(|Δ|) apply; bit-identical to replay, faster on long
+   logs) — with per-call overrides on ``apply_edits``,
 4. opportunistically checkpoint (write a fresh snapshot and truncate
    the WAL) every ``checkpoint_every`` batches.
 
 ``open`` recovers by loading the snapshot and replaying any WAL
 batches that were appended after it; half-written trailing batches
-(no COMMIT line — the crash window) are ignored.
+(no COMMIT line — the crash window) are ignored.  The snapshot's
+``indexes`` relation is one backend ``snapshot()``/``restore()``
+round-trip: the store works identically over every forest backend
+(``memory``, ``compact``, ``sharded``), and the chosen backend is
+recorded in the snapshot so reopening preserves it.
 """
 
 from __future__ import annotations
@@ -55,6 +64,8 @@ class DocumentStore:
         checkpoint_every: int = 16,
         engine: str = "replay",
         jobs: Optional[int] = None,
+        backend: str = "compact",
+        shards: Optional[int] = None,
     ) -> None:
         if engine not in ("replay", "batch"):
             raise StorageError(f"unknown maintenance engine {engine!r}")
@@ -63,12 +74,17 @@ class DocumentStore:
         self._engine = engine
         self._jobs = jobs
         self._documents: Dict[int, Tree] = {}
-        self._forest = ForestIndex(config or GramConfig())
+        # ``backend``/``shards`` choose the forest storage engine when
+        # the store is created; reopening an existing store reads the
+        # recorded choice from the snapshot instead.
+        self._forest = ForestIndex(
+            config or GramConfig(), backend=backend, shards=shards
+        )
         self._service: Optional[LookupService] = None
         self._batches_since_checkpoint = 0
         os.makedirs(directory, exist_ok=True)
         if os.path.exists(self._snapshot_path()):
-            self._recover()
+            self._recover(default_backend=backend, default_shards=shards)
         else:
             self._checkpoint()
 
@@ -105,6 +121,11 @@ class DocumentStore:
     def engine(self) -> str:
         """The default maintenance engine of :meth:`apply_edits`."""
         return self._engine
+
+    @property
+    def backend_name(self) -> str:
+        """Name of the forest storage backend (memory/compact/sharded)."""
+        return self._forest.backend.name
 
     def document_ids(self) -> Iterator[int]:
         """Ids of all stored documents."""
@@ -215,29 +236,37 @@ class DocumentStore:
         """Operational counters of the store.
 
         Covers the collection (documents, nodes, pq-grams), the
-        maintenance configuration, and the shared label hasher's memo
-        hit/miss counters — a warm memo means every build and update
-        call reused the store-wide hasher instead of re-fingerprinting
-        labels from scratch.
+        maintenance configuration, the storage backend (with per-shard
+        posting counts for sharded forests), and the shared label
+        hasher's memo hit/miss counters — a warm memo means every
+        build and update call reused the store-wide hasher instead of
+        re-fingerprinting labels from scratch.
         """
         node_count = sum(len(tree) for tree in self._documents.values())
         gram_count = sum(
-            self._forest.index_of(document_id).size()
+            self._forest.size_of(document_id)
             for document_id in self._documents
         )
         hasher_stats = self._forest.hasher.stats()
+        backend_stats = self._forest.backend.stats()
         service = self._service
-        return {
+        stats: Dict[str, object] = {
             "documents": len(self._documents),
             "nodes": node_count,
             "pq_grams": gram_count,
             "engine": self._engine,
+            "backend": backend_stats["backend"],
+            "postings": backend_stats["postings"],
             "hasher_labels": hasher_stats["labels"],
             "hasher_hits": hasher_stats["hits"],
             "hasher_misses": hasher_stats["misses"],
             "query_cache_hits": service.query_cache_hits if service else 0,
             "query_cache_misses": service.query_cache_misses if service else 0,
         }
+        if "shards" in backend_stats:
+            stats["shards"] = backend_stats["shards"]
+            stats["shard_postings"] = backend_stats["shard_postings"]
+        return stats
 
     # ------------------------------------------------------------------
     # index plumbing
@@ -322,13 +351,21 @@ class DocumentStore:
     _IDX_SCHEMA = Schema(
         [Column("treeId", int), Column("pqg", tuple), Column("cnt", int)]
     )
-    _META_SCHEMA = Schema([Column("key", str), Column("value", int)])
+    _META_SCHEMA = Schema([Column("key", str), Column("value", str)])
 
     def _checkpoint(self) -> None:
         database = Database()
         meta = database.create_table("meta", self._META_SCHEMA, ("key",))
-        meta.insert({"key": "p", "value": self.config.p})
-        meta.insert({"key": "q", "value": self.config.q})
+        meta.insert({"key": "p", "value": str(self.config.p)})
+        meta.insert({"key": "q", "value": str(self.config.q)})
+        meta.insert({"key": "backend", "value": self._forest.backend.name})
+        if self._forest.backend.name == "sharded":
+            meta.insert(
+                {
+                    "key": "shards",
+                    "value": str(len(self._forest.backend.shards)),  # type: ignore[attr-defined]
+                }
+            )
         nodes = database.create_table("nodes", self._NODE_SCHEMA, ("docId", "seq"))
         for document_id, tree in self._documents.items():
             for sequence, node_id in enumerate(preorder(tree)):
@@ -344,8 +381,10 @@ class DocumentStore:
         indexes = database.create_table(
             "indexes", self._IDX_SCHEMA, ("treeId", "pqg")
         )
-        for document_id in self._documents:
-            for key, count in self._forest.index_of(document_id).items():
+        # The index relation is exactly the backend's snapshot — one
+        # write path, serialized verbatim.
+        for document_id, bag in self._forest.backend.snapshot().items():
+            for key, count in bag.items():
                 indexes.insert({"treeId": document_id, "pqg": key, "cnt": count})
         database.save(self._snapshot_path())
         # The snapshot covers everything: truncate the WAL.
@@ -354,12 +393,26 @@ class DocumentStore:
             os.fsync(handle.fileno())
         self._batches_since_checkpoint = 0
 
-    def _recover(self) -> None:
+    def _recover(
+        self,
+        default_backend: str = "compact",
+        default_shards: Optional[int] = None,
+    ) -> None:
         database = Database.load(self._snapshot_path())
         meta = {
             row["key"]: row["value"] for row in database.table("meta").scan_dicts()
         }
-        self._forest = ForestIndex(GramConfig(meta["p"], meta["q"]))
+        backend = meta.get("backend", default_backend)
+        shards = meta.get("shards")
+        if shards is not None:
+            shards = int(shards)
+        elif backend == "sharded":
+            shards = default_shards
+        self._forest = ForestIndex(
+            GramConfig(int(meta["p"]), int(meta["q"])),
+            backend=backend,
+            shards=shards,
+        )
         self._documents = {}
         per_document: Dict[int, List[Dict[str, object]]] = {}
         for row in database.table("nodes").scan_dicts():
@@ -376,9 +429,15 @@ class DocumentStore:
         bags: Dict[int, Dict[tuple, int]] = {}
         for row in database.table("indexes").scan_dicts():
             bags.setdefault(row["treeId"], {})[row["pqg"]] = row["cnt"]
-        for document_id in self._documents:
-            index = PQGramIndex(self._forest.config, bags.get(document_id, {}))
-            self._forest._insert(document_id, index)
+        # One backend restore() round-trip rebuilds the whole relation
+        # (documents with empty bags included, keyed off the document
+        # table rather than the sparse index rows).
+        self._forest.backend.restore(
+            {
+                document_id: bags.get(document_id, {})
+                for document_id in self._documents
+            }
+        )
         # Replay committed WAL batches appended after the snapshot.
         replayed = 0
         for document_id, operations in self._read_wal():

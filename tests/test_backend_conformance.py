@@ -1,0 +1,272 @@
+"""Backend conformance suite: every backend ≡ MemoryBackend, bit for bit.
+
+One write path (`ForestBackend`) with three engines — memory, compact
+(array snapshot + delta overlay) and sharded (fingerprint-partitioned
+fan-out) — must be indistinguishable on every read: lookups at any τ,
+per-tree indexes, inverted lists, maintenance through both engines,
+and persistence round-trips (forest snapshots and relstore
+snapshot/WAL recovery).  These tests drive identical workloads through
+a candidate backend and the memory reference and compare everything.
+"""
+
+import random
+
+import pytest
+
+from repro.backend import (
+    CompactBackend,
+    MemoryBackend,
+    ShardedBackend,
+    make_backend,
+)
+from repro.core import GramConfig, PQGramIndex
+from repro.datasets import dblp_tree, dblp_update_script, random_labelled_tree
+from repro.edits import apply_script
+from repro.errors import StorageError
+from repro.lookup import ForestIndex, LookupService
+from repro.service import DocumentStore
+
+TAUS = (0.2, 0.5, 1.0)
+CONFIG = GramConfig(2, 3)
+
+# (spec name, forest kwargs) — sharded twice to cover the single-shard
+# degenerate case and a real fan-out.
+BACKENDS = [
+    ("memory", {"backend": "memory"}),
+    ("compact", {"backend": "compact"}),
+    ("sharded-1", {"backend": "sharded", "shards": 1}),
+    ("sharded-4", {"backend": "sharded", "shards": 4}),
+]
+BACKEND_IDS = [name for name, _ in BACKENDS]
+ENGINES = ("replay", "batch")
+
+
+def make_pair(kwargs):
+    """(candidate forest, memory reference forest) with shared config."""
+    return ForestIndex(CONFIG, **kwargs), ForestIndex(CONFIG, backend="memory")
+
+
+def make_collection(count, seed):
+    rng = random.Random(seed)
+    collection = []
+    for tree_id in range(count):
+        if rng.random() < 0.5:
+            tree = random_labelled_tree(rng.randint(2, 25), seed=seed + tree_id)
+        else:
+            tree = dblp_tree(rng.randint(1, 6), seed=seed + tree_id)
+        collection.append((tree_id, tree))
+    return collection
+
+
+def assert_equivalent(forest, reference):
+    """Everything observable matches the reference, bit for bit."""
+    assert len(forest) == len(reference)
+    assert sorted(forest.tree_ids()) == sorted(reference.tree_ids())
+    for tree_id in reference.tree_ids():
+        assert forest.index_of(tree_id) == reference.index_of(tree_id)
+        assert forest.size_of(tree_id) == reference.size_of(tree_id)
+    assert forest.inverted_lists() == reference.inverted_lists()
+    query = PQGramIndex.from_tree(
+        random_labelled_tree(15, seed=31), CONFIG, reference.hasher
+    )
+    assert forest.distances(query) == reference.distances(query)
+    for tau in TAUS:
+        assert forest.distances(query, tau=tau) == reference.distances(
+            query, tau=tau
+        )
+    forest.backend.check_consistency()
+
+
+@pytest.mark.parametrize(("name", "kwargs"), BACKENDS, ids=BACKEND_IDS)
+class TestBackendConformance:
+    def test_build_and_lookup(self, name, kwargs):
+        forest, reference = make_pair(kwargs)
+        collection = make_collection(10, seed=100)
+        # Mix the two build paths: singles and a validated batch.
+        for tree_id, tree in collection[:4]:
+            forest.add_tree(tree_id, tree)
+            reference.add_tree(tree_id, tree)
+        forest.add_trees(collection[4:])
+        reference.add_trees(collection[4:])
+        assert_equivalent(forest, reference)
+        # And again through the read-optimized view.
+        forest.compact()
+        assert_equivalent(forest, reference)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_maintenance(self, name, kwargs, engine):
+        """Interleaved add/update/remove under one engine, with a
+        compact() between rounds so frozen views must stay fresh."""
+        rng = random.Random(7)
+        forest, reference = make_pair(kwargs)
+        documents = {}
+        next_id = 0
+        for round_number in range(25):
+            action = rng.randrange(4)
+            if action == 0 or not documents:
+                tree = dblp_tree(rng.randint(2, 8), seed=round_number)
+                forest.add_tree(next_id, tree)
+                reference.add_tree(next_id, tree)
+                documents[next_id] = tree
+                next_id += 1
+            elif action in (1, 2):
+                tree_id = rng.choice(list(documents))
+                script = dblp_update_script(
+                    documents[tree_id], rng.randint(1, 6), seed=round_number
+                )
+                edited, log = apply_script(documents[tree_id], script)
+                forest.update_tree(tree_id, edited, log, engine=engine)
+                reference.update_tree(tree_id, edited, log, engine=engine)
+                documents[tree_id] = edited
+            else:
+                tree_id = rng.choice(list(documents))
+                forest.remove_tree(tree_id)
+                reference.remove_tree(tree_id)
+                del documents[tree_id]
+            if round_number % 3 == 0:
+                forest.compact()
+            assert forest.inverted_lists() == reference.inverted_lists(), (
+                f"drift after round {round_number} action {action}"
+            )
+            forest.backend.check_consistency()
+        assert_equivalent(forest, reference)
+
+    def test_snapshot_restore_roundtrip(self, name, kwargs, tmp_path):
+        forest, reference = make_pair(kwargs)
+        collection = make_collection(8, seed=200)
+        forest.add_trees(collection)
+        reference.add_trees(collection)
+        # Direct backend round-trip into a fresh backend of the same kind.
+        twin = make_backend(kwargs["backend"], shards=kwargs.get("shards"))
+        twin.restore(forest.backend.snapshot())
+        assert twin.snapshot() == forest.backend.snapshot()
+        twin.check_consistency()
+        # Forest-level persistence: save → load preserves backend kind.
+        path = str(tmp_path / "forest.db")
+        forest.save(path)
+        loaded = ForestIndex.load(path)
+        assert loaded.backend.name == forest.backend.name
+        assert loaded.config == forest.config
+        for tree_id in reference.tree_ids():
+            assert loaded.index_of(tree_id) == reference.index_of(tree_id)
+        assert loaded.inverted_lists() == reference.inverted_lists()
+        loaded.backend.check_consistency()
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_store_wal_recovery(self, name, kwargs, engine, tmp_path):
+        """relstore snapshot + WAL replay through every backend: the
+        reopened store is bit-identical to an always-open reference."""
+        directory = str(tmp_path / "store")
+        store = DocumentStore(
+            directory,
+            CONFIG,
+            checkpoint_every=10_000,  # force recovery to replay the WAL
+            engine=engine,
+            **kwargs,
+        )
+        reference = ForestIndex(CONFIG, backend="memory")
+        documents = {}
+        for tree_id, tree in make_collection(5, seed=300):
+            store.add_document(tree_id, tree)
+            reference.add_tree(tree_id, tree)
+            documents[tree_id] = tree
+        rng = random.Random(4)
+        for round_number in range(6):
+            tree_id = rng.choice(list(documents))
+            script = dblp_update_script(documents[tree_id], 3, seed=round_number)
+            edited, log = apply_script(documents[tree_id], script)
+            store.apply_edits(tree_id, script)
+            reference.update_tree(tree_id, edited, log)
+            documents[tree_id] = edited
+        del store  # reopen: snapshot + WAL replay
+        reopened = DocumentStore(directory, CONFIG, engine=engine)
+        assert reopened.backend_name == make_backend(
+            kwargs["backend"], shards=kwargs.get("shards")
+        ).name
+        for tree_id, tree in documents.items():
+            assert reopened.get_document(tree_id) == tree
+            assert reopened.get_index(tree_id) == reference.index_of(tree_id)
+        reopened._forest.backend.check_consistency()
+        service = LookupService(reference)
+        for tau in TAUS:
+            query = documents[min(documents)]
+            assert (
+                reopened.lookup(query, tau).matches
+                == service.lookup(query, tau).matches
+            )
+
+    def test_add_trees_all_or_nothing(self, name, kwargs):
+        """A duplicate anywhere in the batch — against the forest or
+        within the batch itself — commits nothing."""
+        forest = ForestIndex(CONFIG, **kwargs)
+        tree = dblp_tree(3, seed=1)
+        with pytest.raises(StorageError):
+            forest.add_trees([(0, tree), (1, tree), (0, tree)])
+        assert len(forest) == 0
+        forest.add_tree(5, tree)
+        before = forest.inverted_lists()
+        for jobs in (None, 2):
+            with pytest.raises(StorageError):
+                forest.add_trees(
+                    [(6, tree), (5, dblp_tree(2, seed=2))], jobs=jobs
+                )
+            assert len(forest) == 1
+            assert forest.inverted_lists() == before
+        forest.backend.check_consistency()
+
+
+class TestCompactOverlayStaleness:
+    """Satellite: every mutation path must overlay (or invalidate) the
+    frozen snapshot — including ``engine="batch"`` maintenance, which
+    previously relied on untested implicit invalidation."""
+
+    def _frozen_forest(self):
+        forest = ForestIndex(CONFIG, backend="compact")
+        reference = ForestIndex(CONFIG, backend="memory")
+        for tree_id, tree in make_collection(6, seed=400):
+            forest.add_tree(tree_id, tree)
+            reference.add_tree(tree_id, tree)
+        forest.compact()
+        return forest, reference
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_update_after_freeze(self, engine):
+        forest, reference = self._frozen_forest()
+        tree = dblp_tree(4, seed=400)  # same generator as tree id 0? use doc 0
+        document = reference.index_of(0)  # ensure id 0 exists
+        assert document is not None
+        base = make_collection(6, seed=400)[0][1]
+        script = dblp_update_script(base, 4, seed=9)
+        edited, log = apply_script(base, script)
+        forest.update_tree(0, edited, log, engine=engine)
+        reference.update_tree(0, edited, log, engine=engine)
+        if forest.backend._frozen is not None:
+            assert forest.backend._dirty, (
+                "maintenance left the frozen snapshot unmarked"
+            )
+        assert_equivalent(forest, reference)
+
+    def test_add_remove_restore_after_freeze(self):
+        forest, reference = self._frozen_forest()
+        extra = random_labelled_tree(9, seed=41)
+        forest.add_tree(99, extra)
+        reference.add_tree(99, extra)
+        assert_equivalent(forest, reference)
+        forest.remove_tree(2)
+        reference.remove_tree(2)
+        assert_equivalent(forest, reference)
+        # restore() replaces the relation: views must reset wholesale.
+        forest.backend.restore(reference.backend.snapshot())
+        assert forest.backend._frozen is None
+        assert_equivalent(forest, reference)
+
+    def test_every_builtin_backend_kind(self):
+        assert isinstance(make_backend("memory"), MemoryBackend)
+        assert isinstance(make_backend("compact"), CompactBackend)
+        sharded = make_backend("sharded", shards=3)
+        assert isinstance(sharded, ShardedBackend)
+        assert len(sharded.shards) == 3
+        with pytest.raises(ValueError):
+            make_backend("mmap")
+        with pytest.raises(ValueError):
+            make_backend("memory", shards=2)

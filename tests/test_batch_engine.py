@@ -144,7 +144,7 @@ def test_forest_update_tree_batch_on_random_forests():
         for tree_id in collection:
             assert forest.index_of(tree_id) == reference.index_of(tree_id)
             assert forest.size_of(tree_id) == reference.size_of(tree_id)
-        assert forest._inverted == reference._inverted
+        assert forest.inverted_lists() == reference.inverted_lists()
 
 
 # ----------------------------------------------------------------------

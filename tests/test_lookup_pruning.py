@@ -199,14 +199,15 @@ class TestDeltaInversionConsistency:
                 tree_id = rng.choice(list(documents))
                 forest.remove_tree(tree_id)
                 del documents[tree_id]
-            assert forest._inverted == rebuilt_inversion(forest), (
+            assert forest.inverted_lists() == rebuilt_inversion(forest), (
                 f"inversion drift after round {round_number} action {action}"
             )
             # Size metadata follows the indexes.
-            assert forest._sizes == {
+            assert dict(forest.backend.iter_sizes()) == {
                 tree_id: forest.index_of(tree_id).size()
                 for tree_id in documents
             }
+            forest.backend.check_consistency()
 
     def test_update_only_touches_delta_keys(self):
         """Postings of untouched pq-grams are not rewritten."""
@@ -216,14 +217,13 @@ class TestDeltaInversionConsistency:
         forest.add_tree(1, dblp_tree(12, seed=6))
         script = dblp_update_script(tree, 3, seed=1)
         edited, log = apply_script(tree, script)
-        before = {
-            key: dict(postings) for key, postings in forest._inverted.items()
-        }
+        before = forest.inverted_lists()
         forest.update_tree(0, edited, log)
+        after = forest.inverted_lists()
         changed = {
             key
-            for key in set(before) | set(forest._inverted)
-            if before.get(key) != forest._inverted.get(key)
+            for key in set(before) | set(after)
+            if before.get(key) != after.get(key)
         }
         new_index = forest.index_of(0)
         old_index = PQGramIndex.from_tree(tree, forest.config, forest.hasher)

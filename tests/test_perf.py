@@ -119,33 +119,58 @@ class TestIndexDistanceBackends:
 
 @pytest.mark.skipif(not HAVE_NUMPY, reason="CompactPostings requires numpy")
 class TestCompactPostings:
-    def forest(self):
-        forest = ForestIndex(GramConfig(2, 3))
+    def forest(self, backend="compact"):
+        forest = ForestIndex(GramConfig(2, 3), backend=backend)
         for i in range(10):
             forest.add_tree(i, random_labelled_tree(4 + 5 * i, seed=300 + i))
         return forest
 
     def test_sweep_matches_dict_sweep(self):
-        forest = self.forest()
+        reference = self.forest(backend="memory")
+        frozen = self.forest(backend="compact")
+        frozen.compact()
+        assert frozen.backend._frozen is not None
         queries = [
             build_index(random_labelled_tree(12, seed=s)) for s in range(5)
         ]
         for query in queries:
-            forest._compact = None
-            reference = forest._sweep(query)
-            forest.compact()
-            assert forest._compact is not None
-            assert forest._sweep(query) == reference
+            assert frozen._sweep(query) == reference._sweep(query)
 
-    def test_snapshot_invalidated_by_mutation(self):
-        forest = self.forest()
+    def test_snapshot_overlaid_by_mutation(self):
+        """Mutations after a freeze land in the dirty-key overlay: the
+        snapshot survives, and sweeps stay exact."""
+        reference = self.forest(backend="memory")
+        forest = self.forest(backend="compact")
         forest.compact()
-        assert forest._compact is not None
-        forest.add_tree(99, random_labelled_tree(9, seed=9))
-        assert forest._compact is None
-        forest.compact()
+        snapshot = forest.backend._frozen
+        assert snapshot is not None
+        extra = random_labelled_tree(9, seed=9)
+        forest.add_tree(99, extra)
+        reference.add_tree(99, extra)
+        # Snapshot kept, new keys dirty, results identical.
+        assert forest.backend._frozen is snapshot
+        assert forest.backend._dirty
+        query = build_index(random_labelled_tree(14, seed=44))
+        assert forest._sweep(query) == reference._sweep(query)
+        forest.backend.check_consistency()
         forest.remove_tree(99)
-        assert forest._compact is None
+        reference.remove_tree(99)
+        assert forest.backend._frozen is snapshot
+        assert forest._sweep(query) == reference._sweep(query)
+        forest.backend.check_consistency()
+
+    def test_refreeze_past_dirty_threshold(self):
+        forest = self.forest(backend="compact")
+        forest.backend.REFREEZE_MIN_DIRTY = 1
+        forest.backend.REFREEZE_FRACTION = 0.0
+        forest.compact()
+        first = forest.backend._frozen
+        forest.add_tree(99, random_labelled_tree(9, seed=9))
+        assert len(forest.backend._dirty) > 1
+        forest.compact()
+        assert forest.backend._frozen is not first
+        assert not forest.backend._dirty
+        forest.backend.check_consistency()
 
     def test_distances_identical_with_and_without_compact(self):
         forest = self.forest()
@@ -159,11 +184,11 @@ class TestCompactPostings:
     def test_build_shapes(self):
         forest = self.forest()
         forest.compact()
-        compact = forest._compact
+        compact = forest.backend._frozen
         assert len(compact.tree_ids) == len(forest)
         assert len(compact.slots) == len(compact.counts)
         total_postings = sum(
-            len(entry) for entry in forest._inverted.values()
+            len(postings) for _, postings in forest.iter_postings()
         )
         assert len(compact.slots) == total_postings
 
