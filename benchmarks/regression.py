@@ -4,10 +4,13 @@ Runs the lookup bench (tree counts 16/64/256 under a shared node
 budget), the sharded-backend bench (the 256-tree lookup fanned out
 over 1/4/8 shards), the incremental-update bench (fixed log over
 growing trees), and the maintenance bench (n-op logs over a ~10k-node
-tree, per-op replay vs one batched call) at small scale, writes
-machine-readable results to ``benchmarks/results/BENCH_lookup.json`` /
-``BENCH_backend.json`` / ``BENCH_update.json`` /
-``BENCH_maintain.json``, and exits non-zero
+tree, per-op replay vs one batched call) at small scale, plus the
+metrics-overhead check (the 256-tree lookup with a live
+``MetricsRegistry`` vs the no-op default must stay within
+``METRICS_OVERHEAD_TOLERANCE``), writes machine-readable results to
+``benchmarks/results/BENCH_lookup.json`` / ``BENCH_backend.json`` /
+``BENCH_update.json`` / ``BENCH_maintain.json`` /
+``BENCH_metrics.json``, and exits non-zero
 when any measured wall time regresses more than ``TOLERANCE``× against
 the checked-in baseline::
 
@@ -42,11 +45,13 @@ from repro.edits import apply_script
 from repro.edits.script import EditScript
 from repro.hashing import LabelHasher
 from repro.lookup import ForestIndex, LookupService
+from repro.obsv import MetricsRegistry
 
 BASELINE_PATH = os.path.join(
     os.path.dirname(__file__), "regression_baseline.json"
 )
 TOLERANCE = 2.0
+METRICS_OVERHEAD_TOLERANCE = 1.05
 
 LOOKUP_BUDGET = 60_000
 LOOKUP_TREE_COUNTS = (16, 64, 256)
@@ -169,26 +174,97 @@ def measure_maintain() -> Dict[str, float]:
     return results
 
 
+def measure_metrics_overhead() -> Dict[str, float]:
+    """Enabled-registry overhead on the 256-tree lookup workload.
+
+    Two services over the same collection: one with the default
+    :data:`~repro.obsv.NULL_REGISTRY` (the everything-off shape every
+    pre-observability caller gets), one with a live
+    :class:`~repro.obsv.MetricsRegistry`.  The gate asserts the
+    enabled/disabled wall-time ratio stays under
+    ``METRICS_OVERHEAD_TOLERANCE`` — instrumentation must never tax
+    the hot sweep by more than ~5%.  The arms are timed interleaved
+    (disabled, enabled, disabled, ...) and each takes its best round,
+    so slow machine drift hits both floors equally instead of biasing
+    whichever arm ran second.
+    """
+    per_tree = LOOKUP_BUDGET // SHARDED_TREE_COUNT
+    collection = [
+        (tree_id, xmark_tree(per_tree, seed=9000 + tree_id))
+        for tree_id in range(SHARDED_TREE_COUNT)
+    ]
+    services = []
+    for metrics in (None, MetricsRegistry()):
+        forest = ForestIndex(CONFIG, metrics=metrics)
+        forest.add_trees(collection)
+        service = LookupService(forest)
+        query = collection[SHARDED_TREE_COUNT // 2][1]
+        service.lookup(query, LOOKUP_TAU)  # warm: compact + query cache
+        services.append((service, query))
+    def batch(service, query):
+        # 10 lookups per sample: single-lookup samples (~2 ms) sit at
+        # the scheduler's noise floor and flake the ratio either way.
+        def run() -> None:
+            for _ in range(10):
+                service.lookup(query, LOOKUP_TAU)
+        return run
+
+    best = [float("inf"), float("inf")]
+    for _ in range(9):
+        for arm, (service, query) in enumerate(services):
+            best[arm] = min(
+                best[arm], wall_time(batch(service, query), repeats=1)
+            )
+    times: Dict[str, float] = {
+        "metrics_disabled_lookup_ms": best[0] * 1e2,  # per lookup
+        "metrics_enabled_lookup_ms": best[1] * 1e2,
+    }
+    times["metrics_overhead_ratio"] = (
+        times["metrics_enabled_lookup_ms"] / times["metrics_disabled_lookup_ms"]
+    )
+    return times
+
+
 def run(rebaseline: bool) -> int:
     lookup = measure_lookup()
     backend = measure_backend()
     update = measure_update()
     maintain = measure_maintain()
+    metrics = measure_metrics_overhead()
     for name, payload in (
         ("BENCH_lookup.json", lookup),
         ("BENCH_backend.json", backend),
         ("BENCH_update.json", update),
         ("BENCH_maintain.json", maintain),
+        ("BENCH_metrics.json", metrics),
     ):
         with open(results_path(name), "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
     # Ratios stay out of the gate: only wall times obey "bigger is worse".
+    # The metrics-overhead arms also stay out of the wall-time baseline —
+    # their gate is the enabled/disabled ratio, checked below, which is
+    # machine-independent in a way the absolute times are not.
     current = {
         key: value
         for key, value in {**lookup, **backend, **update, **maintain}.items()
         if key.endswith("_ms")
     }
+    overhead_ratio = metrics["metrics_overhead_ratio"]
+    overhead_failures = []
+    if overhead_ratio > METRICS_OVERHEAD_TOLERANCE:
+        overhead_failures.append(
+            f"metrics_overhead_ratio: {overhead_ratio:.4f} "
+            f"(> {METRICS_OVERHEAD_TOLERANCE:.2f}x) — enabled registry "
+            f"taxes the 256-tree lookup beyond the 5% budget"
+        )
+    print(
+        f"  metrics_overhead_ratio: {overhead_ratio:.4f} "
+        f"(enabled {metrics['metrics_enabled_lookup_ms']:.3f} ms / "
+        f"disabled {metrics['metrics_disabled_lookup_ms']:.3f} ms, "
+        f"limit {METRICS_OVERHEAD_TOLERANCE:.2f}x) "
+        + ("REGRESSION" if overhead_failures else "ok")
+    )
 
     if rebaseline or not os.path.exists(BASELINE_PATH):
         with open(BASELINE_PATH, "w", encoding="utf-8") as handle:
@@ -197,7 +273,7 @@ def run(rebaseline: bool) -> int:
         print(f"baseline written to {BASELINE_PATH}")
         for key in sorted(current):
             print(f"  {key}: {current[key]:.3f} ms")
-        return 0
+        return 1 if overhead_failures else 0
 
     with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
         baseline = json.load(handle)
@@ -218,6 +294,7 @@ def run(rebaseline: bool) -> int:
             f"  {key}: {measured:.3f} ms "
             f"(baseline {reference:.3f} ms) {verdict}"
         )
+    failures.extend(overhead_failures)
     if failures:
         print("\nregression gate FAILED:")
         for failure in failures:

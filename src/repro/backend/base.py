@@ -40,6 +40,8 @@ from typing import (
     Tuple,
 )
 
+from repro.obsv.metrics import NULL_REGISTRY, MetricsRegistry
+
 Key = Tuple[int, ...]
 Bag = Dict[Key, int]
 Admit = Callable[[int], bool]
@@ -50,6 +52,27 @@ class ForestBackend(ABC):
 
     #: short machine name used for factory lookup and persistence
     name: str = "abstract"
+
+    #: the bound metrics recorder (the shared no-op by default)
+    metrics: MetricsRegistry = NULL_REGISTRY
+
+    # ------------------------------------------------------------------
+    # observability binding
+    # ------------------------------------------------------------------
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Attach a metrics recorder and pre-resolve the instruments.
+
+        Called once per backend lifetime (the forest facade binds at
+        construction); every hot-path event afterwards is a plain
+        method call on an already-resolved instrument.  Binding the
+        null registry (the default) swaps in shared no-op instruments.
+        """
+        self.metrics = registry
+        self._bind_instruments(registry)
+
+    def _bind_instruments(self, registry: MetricsRegistry) -> None:
+        """Hook: subclasses resolve their instruments here."""
 
     # ------------------------------------------------------------------
     # write path

@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 from repro.backend.base import Admit, Key
 from repro.backend.memory import MemoryBackend
 from repro.errors import IndexConsistencyError
+from repro.obsv.metrics import MetricsRegistry
 from repro.perf.arraybag import HAVE_NUMPY
 
 
@@ -38,9 +39,32 @@ class CompactBackend(MemoryBackend):
     REFREEZE_MIN_DIRTY = 64
 
     def __init__(self) -> None:
-        super().__init__()
         self._frozen = None  # CompactPostings or None
         self._dirty: Set[Key] = set()
+        super().__init__()
+
+    def _bind_instruments(self, registry: MetricsRegistry) -> None:
+        super()._bind_instruments(registry)
+        self._m_refreezes = registry.counter(
+            "compact_refreezes_total",
+            "CSR snapshot (re)builds triggered by the dirty threshold",
+        )
+        self._m_refreeze_seconds = registry.histogram(
+            "compact_refreeze_seconds",
+            "wall seconds spent (re)building the CSR snapshot",
+        )
+        self._m_frozen_keys = registry.counter(
+            "compact_frozen_keys_swept_total",
+            "query keys answered from the frozen CSR snapshot",
+        )
+        self._m_overlay_keys = registry.counter(
+            "compact_overlay_keys_swept_total",
+            "query keys answered from the dirty-key dict overlay",
+        )
+        self._m_overlay_merges = registry.counter(
+            "compact_overlay_merges_total",
+            "sweeps that had to merge overlay results into frozen results",
+        )
 
     # ------------------------------------------------------------------
     # view maintenance hooks (called by every MemoryBackend mutation)
@@ -77,8 +101,12 @@ class CompactBackend(MemoryBackend):
         if self._stale():
             from repro.perf.sweep import CompactPostings
 
-            self._frozen = CompactPostings.build(self._inverted, self._sizes)
+            with self._m_refreeze_seconds.time():
+                self._frozen = CompactPostings.build(
+                    self._inverted, self._sizes
+                )
             self._dirty.clear()
+            self._m_refreezes.inc()
 
     # ------------------------------------------------------------------
     # read path
@@ -97,16 +125,33 @@ class CompactBackend(MemoryBackend):
         for item in query_items:
             (overlay if item[0] in dirty else clean).append(item)
         merged = self._frozen.sweep(clean) if clean else {}
+        keys_swept = len(clean)
+        postings_touched = self._frozen.last_touched if clean else 0
         if overlay:
-            for tree_id, shared in super().candidates(overlay).items():
+            overlay_hits: Dict[int, int] = {}
+            overlay_keys, overlay_touched = self._accumulate(
+                overlay, None, overlay_hits
+            )
+            keys_swept += overlay_keys
+            postings_touched += overlay_touched
+            self._m_overlay_keys.inc(overlay_keys)
+            if overlay_hits:
+                self._m_overlay_merges.inc()
+            for tree_id, shared in overlay_hits.items():
                 merged[tree_id] = merged.get(tree_id, 0) + shared
+        self._m_frozen_keys.inc(len(clean))
+        self._m_keys_swept.inc(keys_swept)
+        self._m_postings_touched.inc(postings_touched)
         if admit is None:
+            self._m_candidates_emitted.inc(len(merged))
             return merged
-        return {
+        filtered = {
             tree_id: shared
             for tree_id, shared in merged.items()
             if admit(tree_id)
         }
+        self._m_candidates_emitted.inc(len(filtered))
+        return filtered
 
     # ------------------------------------------------------------------
     # observability

@@ -13,6 +13,7 @@ from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
 
 from repro.backend.base import Admit, Bag, ForestBackend, Key
 from repro.errors import IndexConsistencyError, StorageError
+from repro.obsv.metrics import NULL_REGISTRY, MetricsRegistry
 
 
 class MemoryBackend(ForestBackend):
@@ -24,6 +25,29 @@ class MemoryBackend(ForestBackend):
         self._bags: Dict[int, Bag] = {}
         self._inverted: Dict[Key, Dict[int, int]] = {}
         self._sizes: Dict[int, int] = {}
+        self.bind_metrics(NULL_REGISTRY)
+
+    def _bind_instruments(self, registry: MetricsRegistry) -> None:
+        self._m_keys_swept = registry.counter(
+            "index_keys_swept_total",
+            "query pq-gram keys processed by the candidate sweep",
+        )
+        self._m_postings_touched = registry.counter(
+            "index_postings_touched_total",
+            "inverted-list (tree, cnt) entries consulted by sweeps",
+        )
+        self._m_candidates_emitted = registry.counter(
+            "index_candidates_emitted_total",
+            "candidate trees emitted by sweeps (after any admit filter)",
+        )
+        self._m_deltas = registry.counter(
+            "index_deltas_applied_total",
+            "apply_tree_delta calls folded into the relation",
+        )
+        self._m_delta_keys = registry.counter(
+            "index_delta_keys_total",
+            "distinct keys re-inverted by apply_tree_delta calls",
+        )
 
     # ------------------------------------------------------------------
     # hooks for subclasses maintaining read-optimized views
@@ -74,6 +98,8 @@ class MemoryBackend(ForestBackend):
                 size += count
         self._sizes[tree_id] = size
         touched = minus.keys() | plus.keys()
+        self._m_deltas.inc()
+        self._m_delta_keys.inc(len(touched))
         for key in touched:
             count = bag.get(key, 0)
             if count:
@@ -120,29 +146,55 @@ class MemoryBackend(ForestBackend):
         admit: Optional[Admit] = None,
     ) -> Dict[int, int]:
         intersections: Dict[int, int] = {}
+        keys_swept, postings_touched = self._accumulate(
+            query_items, admit, intersections
+        )
+        self._m_keys_swept.inc(keys_swept)
+        self._m_postings_touched.inc(postings_touched)
+        self._m_candidates_emitted.inc(len(intersections))
+        return intersections
+
+    def _accumulate(
+        self,
+        query_items: Iterable[Tuple[Key, int]],
+        admit: Optional[Admit],
+        intersections: Dict[int, int],
+    ) -> Tuple[int, int]:
+        """The raw dict sweep, folding into ``intersections`` in place.
+
+        Returns ``(keys swept, posting entries touched)`` so callers
+        (this class and the compact overlay) report the counters once,
+        at their own public entry point.
+        """
         inverted = self._inverted
+        keys_swept = 0
+        postings_touched = 0
         if admit is None:
             for key, query_count in query_items:
+                keys_swept += 1
                 postings = inverted.get(key)
                 if not postings:
                     continue
+                postings_touched += len(postings)
                 for tree_id, count in postings.items():
                     intersections[tree_id] = intersections.get(
                         tree_id, 0
                     ) + min(query_count, count)
-            return intersections
-        # The size filter gates the accumulation, so hopeless trees
-        # never even enter the intersection map.
-        for key, query_count in query_items:
-            postings = inverted.get(key)
-            if not postings:
-                continue
-            for tree_id, count in postings.items():
-                if admit(tree_id):
-                    intersections[tree_id] = intersections.get(
-                        tree_id, 0
-                    ) + min(query_count, count)
-        return intersections
+        else:
+            # The size filter gates the accumulation, so hopeless trees
+            # never even enter the intersection map.
+            for key, query_count in query_items:
+                keys_swept += 1
+                postings = inverted.get(key)
+                if not postings:
+                    continue
+                postings_touched += len(postings)
+                for tree_id, count in postings.items():
+                    if admit(tree_id):
+                        intersections[tree_id] = intersections.get(
+                            tree_id, 0
+                        ) + min(query_count, count)
+        return keys_swept, postings_touched
 
     def tree_bag(self, tree_id: int) -> Mapping[Key, int]:
         try:

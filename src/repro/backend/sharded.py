@@ -29,6 +29,7 @@ from repro.backend.base import Admit, Bag, ForestBackend, Key
 from repro.backend.compact import CompactBackend
 from repro.errors import IndexConsistencyError, StorageError
 from repro.hashing.fingerprint import combine_fingerprints
+from repro.obsv.metrics import NULL_REGISTRY, MetricsRegistry
 
 
 class ShardedBackend(ForestBackend):
@@ -49,6 +50,35 @@ class ShardedBackend(ForestBackend):
         self._sizes: Dict[int, int] = {}
         self._parallel = parallel and shards > 1
         self._pool = None
+        self.bind_metrics(NULL_REGISTRY)
+
+    def _bind_instruments(self, registry: MetricsRegistry) -> None:
+        # One shared registry: the inner backends' logical counters
+        # (keys swept, postings touched, delta keys) roll up additively
+        # because the key partition is disjoint, and the fan-out gets
+        # its own per-shard series on top.
+        for shard in self.shards:
+            shard.bind_metrics(registry)
+        self._m_fanout_sweeps = registry.counter(
+            "shard_fanout_sweeps_total",
+            "per-shard sweep calls fanned out by candidate lookups",
+        )
+        self._m_shard_keys = [
+            registry.counter(
+                "shard_keys_routed_total",
+                "query keys routed to one shard by the fingerprint partition",
+                shard=index,
+            )
+            for index in range(len(self.shards))
+        ]
+        self._m_shard_seconds = [
+            registry.histogram(
+                "shard_sweep_seconds",
+                "per-shard candidate sweep latency (fan-out arm wall time)",
+                shard=index,
+            )
+            for index in range(len(self.shards))
+        ]
 
     # ------------------------------------------------------------------
     # partitioning
@@ -135,17 +165,26 @@ class ShardedBackend(ForestBackend):
         for item in query_items:
             groups[shard_of(item[0])].append(item)
         busy = [
-            (shard, group)
-            for shard, group in zip(self.shards, groups)
+            (index, shard, group)
+            for index, (shard, group) in enumerate(zip(self.shards, groups))
             if group
         ]
+        self._m_fanout_sweeps.inc(len(busy))
+
         # A tree admitted by the τ size bound is admitted in every
         # shard (the predicate depends only on the tree), so per-shard
-        # filtering composes with the additive merge.
+        # filtering composes with the additive merge.  Each fan-out arm
+        # times itself so the pool-threaded path attributes latency to
+        # the right shard.
+        def sweep_arm(index: int, shard: ForestBackend, group: List[Tuple[Key, int]]):
+            self._m_shard_keys[index].inc(len(group))
+            with self._m_shard_seconds[index].time():
+                return shard.candidates(group, admit)
+
         parts = self._map(
             [
-                (lambda s=shard, g=group: s.candidates(g, admit))
-                for shard, group in busy
+                (lambda i=index, s=shard, g=group: sweep_arm(i, s, g))
+                for index, shard, group in busy
             ]
         )
         merged: Dict[int, int] = {}

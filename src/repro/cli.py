@@ -6,6 +6,7 @@ over XML files and store directories:
 - ``index``     build the pq-gram index of an XML file, print stats
 - ``distance``  pq-gram distance between two XML files
 - ``diff``      edit script between two XML file versions
+- ``metrics``   open a store with observability on, emit the registry
 - ``store ...`` manage a durable document store:
   ``store create / add / edit / applylog / lookup / list / show / stats``
 
@@ -19,7 +20,9 @@ Examples::
     python -m repro store --dir ./mystore edit 1 edits.log
     python -m repro store --dir ./mystore applylog 1 edits.log --engine batch --jobs 4
     python -m repro store --dir ./mystore lookup query.xml --tau 0.4
-    python -m repro store --dir ./mystore stats
+    python -m repro store --dir ./mystore stats --metrics
+    python -m repro metrics --dir ./mystore --format prometheus
+    python -m repro metrics --dir ./mystore --query query.xml --tau 0.4
 """
 
 from __future__ import annotations
@@ -33,7 +36,7 @@ from repro.core.distance import pq_gram_distance
 from repro.core.index import PQGramIndex
 from repro.edits.diff import diff_trees
 from repro.edits.serialize import format_operations, parse_operations
-from repro.errors import StorageError
+from repro.errors import IndexConsistencyError, StorageError
 from repro.hashing.labelhash import LabelHasher
 from repro.service.store import DocumentStore
 from repro.tree.traversal import tree_depth
@@ -80,6 +83,28 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     diff_parser.add_argument("old")
     diff_parser.add_argument("new")
+
+    metrics_parser = commands.add_parser(
+        "metrics",
+        help="open a store with metrics enabled and emit the registry "
+        "(covers recovery; add --query to also exercise a lookup)",
+    )
+    metrics_parser.add_argument("--dir", required=True, help="store directory")
+    metrics_parser.add_argument(
+        "--format",
+        choices=("json", "prometheus"),
+        default="json",
+        help="exporter format (default json)",
+    )
+    metrics_parser.add_argument(
+        "--query",
+        metavar="FILE",
+        default=None,
+        help="also run one approximate lookup of this XML query so the "
+        "pruning counters populate",
+    )
+    metrics_parser.add_argument("--tau", type=float, default=0.5)
+    _add_gram_arguments(metrics_parser)
 
     store_parser = commands.add_parser("store", help="manage a document store")
     store_parser.add_argument("--dir", required=True, help="store directory")
@@ -168,10 +193,22 @@ def _build_parser() -> argparse.ArgumentParser:
 
     store_commands.add_parser("list", help="list stored documents")
 
-    store_commands.add_parser(
+    stats_parser = store_commands.add_parser(
         "stats",
         help="store-wide counters (documents, pq-grams, backend "
         "postings incl. per-shard breakdown, hasher memo)",
+    )
+    stats_parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also emit the full observability registry (recovery, "
+        "WAL, sweep and pruning counters)",
+    )
+    stats_parser.add_argument(
+        "--format",
+        choices=("json", "prometheus"),
+        default="json",
+        help="registry exporter format used with --metrics",
     )
 
     show_parser = store_commands.add_parser("show", help="document statistics")
@@ -234,6 +271,25 @@ def _command_diff(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _print_metrics(store: DocumentStore, format_name: str) -> None:
+    if format_name == "prometheus":
+        sys.stdout.write(store.metrics_prometheus())
+        return
+    import json
+
+    print(json.dumps(store.metrics(), indent=2, sort_keys=True))
+
+
+def _command_metrics(arguments: argparse.Namespace) -> int:
+    store = DocumentStore(
+        arguments.dir, GramConfig(arguments.p, arguments.q), metrics=True
+    )
+    if arguments.query is not None:
+        store.lookup(tree_from_xml(arguments.query), arguments.tau)
+    _print_metrics(store, arguments.format)
+    return 0
+
+
 def _command_store(arguments: argparse.Namespace) -> int:
     if arguments.store_command == "create":
         import os
@@ -251,7 +307,11 @@ def _command_store(arguments: argparse.Namespace) -> int:
             described += f" ({store.stats()['shards']} shards)"
         print(f"created store at {arguments.dir} (backend {described})")
         return 0
-    store = DocumentStore(arguments.dir, GramConfig(arguments.p, arguments.q))
+    store = DocumentStore(
+        arguments.dir,
+        GramConfig(arguments.p, arguments.q),
+        metrics=getattr(arguments, "metrics", False) or None,
+    )
     if arguments.store_command == "add":
         store.add_document(arguments.doc_id, tree_from_xml(arguments.file))
         print(f"added document {arguments.doc_id}")
@@ -296,6 +356,9 @@ def _command_store(arguments: argparse.Namespace) -> int:
     elif arguments.store_command == "stats":
         for key, value in store.stats().items():
             print(f"{key}: {value}")
+        if arguments.metrics:
+            print()
+            _print_metrics(store, arguments.format)
     elif arguments.store_command == "lookup":
         query = tree_from_xml(arguments.file)
         result = store.lookup(query, arguments.tau)
@@ -315,7 +378,7 @@ def _command_store(arguments: argparse.Namespace) -> int:
               f"{index.size()} pq-grams "
               f"({index.distinct_size()} distinct)")
     elif arguments.store_command == "verify":
-        corrupt = 0
+        mismatched: List[int] = []
         for document_id in store.document_ids():
             rebuilt = PQGramIndex.from_tree(
                 store.get_document(document_id),
@@ -324,10 +387,25 @@ def _command_store(arguments: argparse.Namespace) -> int:
             )
             status = "ok" if rebuilt == store.get_index(document_id) else "MISMATCH"
             if status != "ok":
-                corrupt += 1
+                mismatched.append(document_id)
             print(f"doc {document_id}\t{status}")
-        print(f"{len(store)} document(s) verified, {corrupt} mismatch(es)")
-        return 1 if corrupt else 0
+        backend_ok = True
+        try:
+            store._forest.backend.check_consistency()
+            print("backend consistency\tok")
+        except IndexConsistencyError as exc:
+            backend_ok = False
+            print(f"backend consistency\tFAILED: {exc}")
+        print(
+            f"{len(store)} document(s) verified, "
+            f"{len(mismatched)} mismatch(es)"
+        )
+        if mismatched:
+            print(
+                "mismatched ids: "
+                + ", ".join(str(document_id) for document_id in mismatched)
+            )
+        return 1 if mismatched or not backend_ok else 0
     elif arguments.store_command == "duplicates":
         from repro.lookup.join import self_join
 
@@ -349,6 +427,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "index": _command_index,
         "distance": _command_distance,
         "diff": _command_diff,
+        "metrics": _command_metrics,
         "store": _command_store,
     }
     try:

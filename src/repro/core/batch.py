@@ -82,6 +82,21 @@ class BatchTimings:
             + self.index_update
         )
 
+    #: phase attribute names, in pipeline order (the observability
+    #: layer materializes one histogram series per phase)
+    PHASES = ("compact", "partition", "delta_sweep", "restore", "index_update")
+
+    def record_into(self, phase_histograms: Dict[str, object]) -> None:
+        """Fold this breakdown into per-phase histogram instruments.
+
+        ``phase_histograms`` maps each :data:`PHASES` name to an object
+        with ``observe(seconds)`` (a metrics histogram); every phase is
+        observed once per batch so the series counts stay aligned with
+        ``maintain_batches_total``.
+        """
+        for phase in self.PHASES:
+            phase_histograms[phase].observe(getattr(self, phase))
+
 
 def operation_region(
     tree: Tree, operation: EditOperation, p: int

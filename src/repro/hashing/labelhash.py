@@ -68,6 +68,24 @@ class LabelHasher:
             "misses": self.memo_misses,
         }
 
+    def publish_metrics(self, registry) -> None:
+        """Push the memo statistics into a metrics registry as gauges.
+
+        Pulled at export time (not on the hot hashing path): the memo
+        counters are plain ints here, and owners snapshot them into the
+        shared :class:`~repro.obsv.metrics.MetricsRegistry` right
+        before rendering a snapshot or Prometheus page.
+        """
+        registry.gauge(
+            "hasher_labels", "distinct labels in the shared hasher memo"
+        ).set(len(self._memo))
+        registry.gauge(
+            "hasher_memo_hits", "label-hash memo hits since startup"
+        ).set(self.memo_hits)
+        registry.gauge(
+            "hasher_memo_misses", "label-hash memo misses since startup"
+        ).set(self.memo_misses)
+
     def hash_optional(self, label: Optional[str]) -> int:
         """Hash a label, treating ``None`` and ``*``-as-null as the null
         node (used when padding p-parts and q-parts)."""

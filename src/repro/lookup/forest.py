@@ -23,6 +23,7 @@ from repro.core.maintain import update_index_replay_delta
 from repro.edits.ops import EditOperation
 from repro.errors import StorageError
 from repro.hashing.labelhash import LabelHasher
+from repro.obsv.metrics import MetricsRegistry, resolve_registry
 from repro.relstore.database import Database
 from repro.relstore.schema import Column, Schema
 from repro.tree.tree import Tree
@@ -43,15 +44,124 @@ class ForestIndex:
         config: Optional[GramConfig] = None,
         backend: Union[str, ForestBackend] = "compact",
         shards: Optional[int] = None,
+        metrics: "Optional[MetricsRegistry | bool]" = None,
     ) -> None:
         self.config = config or GramConfig()
         self.hasher = LabelHasher()
         self._backend = make_backend(backend, shards=shards)
+        self.metrics = resolve_registry(metrics)
+        self._backend.bind_metrics(self.metrics)
+        self._bind_instruments(self.metrics)
+
+    def _bind_instruments(self, registry: MetricsRegistry) -> None:
+        self._m_lookups = registry.counter(
+            "lookup_distance_scans_total",
+            "forest distance scans (full or tau-pruned)",
+        )
+        self._m_candidates_total = registry.counter(
+            "lookup_candidates_total",
+            "trees considered by distance scans "
+            "(= pruned by the tau size bound + scored)",
+        )
+        self._m_candidates_pruned = registry.counter(
+            "lookup_candidates_pruned_total",
+            "candidate trees discarded by the tau size bound before "
+            "any distance was materialized",
+        )
+        self._m_candidates_scored = registry.counter(
+            "lookup_candidates_scored_total",
+            "candidate trees whose pq-gram distance was computed",
+        )
+        self._m_matches = registry.counter(
+            "lookup_matches_total",
+            "trees returned under the tau threshold",
+        )
+        self._m_maintain_batches = {
+            engine: registry.counter(
+                "maintain_batches_total",
+                "incremental maintenance calls per engine",
+                engine=engine,
+            )
+            for engine in ("replay", "batch")
+        }
+        self._m_maintain_ops = registry.counter(
+            "maintain_ops_total",
+            "edit operations consumed by maintenance calls (pre-compaction)",
+        )
+        self._m_maintain_delta_keys = registry.counter(
+            "maintain_delta_keys_total",
+            "distinct index keys in the net deltas handed to the backend",
+        )
+        self._m_maintain_seconds = {
+            engine: registry.histogram(
+                "maintain_seconds",
+                "wall seconds per maintenance call (engine + backend apply)",
+                engine=engine,
+            )
+            for engine in ("replay", "batch")
+        }
+        self._m_batch_compacted_ops = registry.counter(
+            "maintain_batch_compacted_ops_total",
+            "operations left after batch-engine log compaction",
+        )
+        self._m_batch_groups = registry.counter(
+            "maintain_batch_groups_total",
+            "commuting groups evaluated by the batch engine",
+        )
+        self._m_batch_phase_seconds = {
+            phase: registry.histogram(
+                "maintain_batch_phase_seconds",
+                "batch-engine wall seconds per phase (BatchTimings)",
+                phase=phase,
+            )
+            for phase in (
+                "compact",
+                "partition",
+                "delta_sweep",
+                "restore",
+                "index_update",
+            )
+        }
 
     @property
     def backend(self) -> ForestBackend:
         """The storage backend holding the index relation."""
         return self._backend
+
+    def sync_metric_gauges(self) -> None:
+        """Refresh the snapshot-style gauges (forest shape, backend
+        stats, label-hasher memo) in the bound registry.
+
+        Counters are pushed on the hot paths; gauges describing current
+        state are pulled here, right before a metrics export, so the
+        hot paths never pay for them.  A no-op on the null registry.
+        """
+        registry = self.metrics
+        if not registry.enabled:
+            return
+        registry.gauge(
+            "forest_trees", "trees currently indexed"
+        ).set(len(self._backend))
+        self.hasher.publish_metrics(registry)
+        backend_stats = self._backend.stats()
+        registry.gauge(
+            "backend_postings", "posting entries stored by the backend"
+        ).set(int(backend_stats["postings"]))
+        registry.gauge(
+            "backend_distinct_keys", "distinct pq-gram keys stored"
+        ).set(int(backend_stats["distinct_keys"]))
+        if "dirty_keys" in backend_stats:
+            registry.gauge(
+                "compact_dirty_keys", "keys overlaying the frozen snapshot"
+            ).set(int(backend_stats["dirty_keys"]))
+        for index, postings in enumerate(
+            backend_stats.get("shard_postings", ())
+        ):
+            registry.gauge(
+                "shard_postings",
+                "posting entries stored per shard",
+                shard=index,
+            ).set(int(postings))
 
     # ------------------------------------------------------------------
     # building and maintaining
@@ -121,25 +231,34 @@ class ForestIndex:
         way.  ``compact`` overrides the engine's native log-compaction
         default (off for replay, on for batch).
         """
-        old_index = self.index_of(tree_id)
-        if engine == "batch":
-            from repro.core.batch import update_index_batch_delta
-
-            _, minus, plus = update_index_batch_delta(
-                old_index,
-                tree,
-                log,
-                self.hasher,
-                compact=True if compact is None else compact,
-                jobs=jobs,
-            )
-        elif engine == "replay":
-            _, minus, plus = update_index_replay_delta(
-                old_index, tree, log, self.hasher, compact=bool(compact)
-            )
-        else:
+        if engine not in ("replay", "batch"):
             raise ValueError(f"unknown maintenance engine {engine!r}")
-        self._backend.apply_tree_delta(tree_id, minus, plus)
+        old_index = self.index_of(tree_id)
+        with self.metrics.span(f"maintain.{engine}"), \
+                self._m_maintain_seconds[engine].time():
+            if engine == "batch":
+                from repro.core.batch import update_index_batch_timed
+
+                _, minus, plus, timings = update_index_batch_timed(
+                    old_index,
+                    tree,
+                    log,
+                    self.hasher,
+                    compact=True if compact is None else compact,
+                    jobs=jobs,
+                )
+                if self.metrics.enabled:
+                    self._m_batch_compacted_ops.inc(timings.compacted_size)
+                    self._m_batch_groups.inc(timings.group_count)
+                    timings.record_into(self._m_batch_phase_seconds)
+            else:
+                _, minus, plus = update_index_replay_delta(
+                    old_index, tree, log, self.hasher, compact=bool(compact)
+                )
+            self._backend.apply_tree_delta(tree_id, minus, plus)
+        self._m_maintain_batches[engine].inc()
+        self._m_maintain_ops.inc(len(log))
+        self._m_maintain_delta_keys.inc(len(minus) + len(plus))
 
     # ------------------------------------------------------------------
     # access
@@ -226,18 +345,23 @@ class ForestIndex:
         is materialized.  Both paths produce identical distances.
         """
         query_size = query.size()
-        if tau is None:
-            return self._distances_full(query, query_size)
-        if tau > 1.0:
-            # Every tree qualifies at most at the no-overlap distance
-            # 1.0 < tau: nothing can be pruned.
-            full = self._distances_full(query, query_size)
-            return {
-                tree_id: distance
-                for tree_id, distance in full.items()
-                if distance < tau
-            }
-        return self._distances_pruned(query, query_size, tau)
+        self._m_lookups.inc()
+        with self.metrics.span("lookup.distances"):
+            if tau is None:
+                return self._distances_full(query, query_size)
+            if tau > 1.0:
+                # Every tree qualifies at most at the no-overlap distance
+                # 1.0 < tau: nothing can be pruned.
+                full = self._distances_full(query, query_size)
+                result = {
+                    tree_id: distance
+                    for tree_id, distance in full.items()
+                    if distance < tau
+                }
+            else:
+                result = self._distances_pruned(query, query_size, tau)
+            self._m_matches.inc(len(result))
+            return result
 
     def _sweep(self, query: PQGramIndex) -> Dict[int, int]:
         """``{tree_id: |I_query ∩ I_tree|}`` for all co-occurring trees."""
@@ -252,6 +376,9 @@ class ForestIndex:
             result[tree_id] = distance_from_overlap(
                 intersections.get(tree_id, 0), query_size + size
             )
+        # The full scan scores every tree; nothing is pruned.
+        self._m_candidates_total.inc(len(result))
+        self._m_candidates_scored.inc(len(result))
         return result
 
     def _distances_pruned(
@@ -267,6 +394,8 @@ class ForestIndex:
             for tree_id, size in backend.iter_sizes():
                 if size == 0:
                     result[tree_id] = 0.0
+            self._m_candidates_total.inc(len(result))
+            self._m_candidates_scored.inc(len(result))
             return result
         # The τ size bound, memoized per tree so backends may consult
         # it as often as their sweep shape requires.
@@ -281,14 +410,23 @@ class ForestIndex:
                 admitted[tree_id] = verdict
             return verdict
 
-        for tree_id, shared in backend.candidates(
-            query.items(), admit=admit
-        ).items():
+        candidates = backend.candidates(query.items(), admit=admit)
+        for tree_id, shared in candidates.items():
             distance = distance_from_overlap(
                 shared, query_size + backend.tree_size(tree_id)
             )
             if distance < tau:
                 result[tree_id] = distance
+        # The admission memo saw every co-occurring tree exactly once
+        # (backends may re-ask; the memo de-duplicates), so it is the
+        # exact pruning ledger: total = pruned + scored.
+        if self.metrics.enabled:
+            pruned = sum(
+                1 for verdict in admitted.values() if not verdict
+            )
+            self._m_candidates_total.inc(len(admitted))
+            self._m_candidates_pruned.inc(pruned)
+            self._m_candidates_scored.inc(len(candidates))
         return result
 
     # ------------------------------------------------------------------

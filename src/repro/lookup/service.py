@@ -26,6 +26,7 @@ from repro.core.index import PQGramIndex
 from repro.edits.ops import EditOperation
 from repro.hashing.labelhash import LabelHasher
 from repro.lookup.forest import ForestIndex
+from repro.obsv.metrics import MetricsRegistry
 from repro.tree.fingerprint import tree_fingerprint
 from repro.tree.tree import Tree
 
@@ -69,6 +70,38 @@ class LookupService:
         self._auto_compact = auto_compact
         self.query_cache_hits = 0
         self.query_cache_misses = 0
+        registry = forest.metrics
+        self._m_lookup_seconds = registry.histogram(
+            "lookup_seconds", "end-to-end indexed lookup latency"
+        )
+        self._m_cache_hits = registry.counter(
+            "query_cache_hits_total", "query pq-gram index LRU hits"
+        )
+        self._m_cache_misses = registry.counter(
+            "query_cache_misses_total", "query pq-gram index LRU misses"
+        )
+
+    @property
+    def metrics_registry(self) -> MetricsRegistry:
+        """The metrics recorder shared with the underlying forest."""
+        return self.forest.metrics
+
+    def metrics(self) -> Dict[str, object]:
+        """One JSON-ready snapshot of every metric this service (and
+        its forest, backend, and hasher) recorded.
+
+        Counters cover the hot paths — candidate pruning, backend
+        sweeps, maintenance engines — and the gauges are refreshed
+        from the live structures at call time.  Empty-ish on a service
+        whose forest was built without ``metrics=``.
+        """
+        self.forest.sync_metric_gauges()
+        return self.forest.metrics.snapshot()
+
+    def metrics_prometheus(self) -> str:
+        """The same snapshot in Prometheus text exposition format."""
+        self.forest.sync_metric_gauges()
+        return self.forest.metrics.to_prometheus()
 
     @classmethod
     def for_collection(
@@ -78,17 +111,21 @@ class LookupService:
         backend: str = "compact",
         shards: Optional[int] = None,
         jobs: Optional[int] = None,
+        metrics: "Optional[MetricsRegistry | bool]" = None,
         **kwargs: object,
     ) -> "LookupService":
         """Build a forest over ``collection`` and wrap it in a service.
 
         ``backend`` / ``shards`` pick the forest's storage engine
-        (memory, compact, or sharded over N partitions) and ``jobs``
+        (memory, compact, or sharded over N partitions), ``jobs``
         fans the per-tree index construction out over worker
-        processes; remaining keyword arguments go to the service
+        processes, and ``metrics`` (a registry or ``True``) enables
+        observability; remaining keyword arguments go to the service
         constructor.
         """
-        forest = ForestIndex(config, backend=backend, shards=shards)
+        forest = ForestIndex(
+            config, backend=backend, shards=shards, metrics=metrics
+        )
         forest.add_trees(collection, jobs=jobs)
         return cls(forest, **kwargs)  # type: ignore[arg-type]
 
@@ -107,8 +144,10 @@ class LookupService:
         if cached is not None:
             self._query_cache.move_to_end(key)
             self.query_cache_hits += 1
+            self._m_cache_hits.inc()
             return cached
         self.query_cache_misses += 1
+        self._m_cache_misses.inc()
         index = PQGramIndex.from_tree(
             query, self.forest.config, self.forest.hasher
         )
@@ -157,14 +196,17 @@ class LookupService:
         distance map.
         """
         started = time.perf_counter()
-        query_index = self.query_index(query)
-        if self._auto_compact:
-            self.forest.compact()
-        distances = self.forest.distances(query_index, tau=tau)
+        with self.forest.metrics.span("lookup"):
+            query_index = self.query_index(query)
+            if self._auto_compact:
+                self.forest.compact()
+            distances = self.forest.distances(query_index, tau=tau)
         matches = sorted(distances.items(), key=lambda pair: (pair[1], pair[0]))
+        elapsed = time.perf_counter() - started
+        self._m_lookup_seconds.observe(elapsed)
         return LookupResult(
             matches=matches,
-            seconds_total=time.perf_counter() - started,
+            seconds_total=elapsed,
             trees_compared=len(self.forest),
             extra={"pruned": float(len(self.forest) - len(matches))},
         )
@@ -178,14 +220,17 @@ class LookupService:
         if k < 1:
             raise ValueError("k must be positive")
         started = time.perf_counter()
-        query_index = self.query_index(query)
-        if self._auto_compact:
-            self.forest.compact()
-        distances = self.forest.distances(query_index)
+        with self.forest.metrics.span("lookup.nearest"):
+            query_index = self.query_index(query)
+            if self._auto_compact:
+                self.forest.compact()
+            distances = self.forest.distances(query_index)
         matches = sorted(distances.items(), key=lambda pair: (pair[1], pair[0]))[:k]
+        elapsed = time.perf_counter() - started
+        self._m_lookup_seconds.observe(elapsed)
         return LookupResult(
             matches=matches,
-            seconds_total=time.perf_counter() - started,
+            seconds_total=elapsed,
             trees_compared=len(distances),
         )
 

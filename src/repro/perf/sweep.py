@@ -30,7 +30,9 @@ Key = Tuple[int, ...]
 class CompactPostings:
     """Frozen CSR-style array form of a forest's inverted lists."""
 
-    __slots__ = ("tree_ids", "sizes", "slots", "counts", "spans")
+    __slots__ = (
+        "tree_ids", "sizes", "slots", "counts", "spans", "last_touched"
+    )
 
     def __init__(self, tree_ids, sizes, slots, counts, spans) -> None:
         self.tree_ids: List[int] = tree_ids            # slot → tree id
@@ -38,6 +40,7 @@ class CompactPostings:
         self.slots = slots                             # packed posting slots
         self.counts = counts                           # packed posting counts
         self.spans: Dict[Key, Tuple[int, int]] = spans  # key → [start, end)
+        self.last_touched: int = 0  # posting entries read by the last sweep
 
     @classmethod
     def build(
@@ -87,12 +90,15 @@ class CompactPostings:
         acc = _np.zeros(len(self.tree_ids), dtype=_np.int64)
         spans = self.spans
         slots, counts = self.slots, self.counts
+        touched = 0
         for key, query_count in query_items:
             span = spans.get(key)
             if span is None:
                 continue
             start, end = span
+            touched += end - start
             acc[slots[start:end]] += _np.minimum(counts[start:end], query_count)
+        self.last_touched = touched
         tree_ids = self.tree_ids
         return {
             tree_ids[slot]: int(acc[slot]) for slot in _np.nonzero(acc)[0]

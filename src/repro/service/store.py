@@ -45,6 +45,7 @@ from repro.errors import StorageError
 from repro.hashing.labelhash import LabelHasher
 from repro.lookup.forest import ForestIndex
 from repro.lookup.service import LookupResult, LookupService
+from repro.obsv.metrics import MetricsRegistry, resolve_registry
 from repro.relstore.database import Database
 from repro.relstore.schema import Column, Schema
 from repro.tree.traversal import preorder
@@ -66,6 +67,7 @@ class DocumentStore:
         jobs: Optional[int] = None,
         backend: str = "compact",
         shards: Optional[int] = None,
+        metrics: "Optional[MetricsRegistry | bool]" = None,
     ) -> None:
         if engine not in ("replay", "batch"):
             raise StorageError(f"unknown maintenance engine {engine!r}")
@@ -74,19 +76,61 @@ class DocumentStore:
         self._engine = engine
         self._jobs = jobs
         self._documents: Dict[int, Tree] = {}
+        # ``metrics`` (a registry or ``True``) turns on observability
+        # for the whole stack — store, forest, backend, lookup service
+        # all report into one registry.  Must be chosen at open time so
+        # recovery itself is measured.
+        self._metrics = resolve_registry(metrics)
+        self._bind_instruments(self._metrics)
         # ``backend``/``shards`` choose the forest storage engine when
         # the store is created; reopening an existing store reads the
         # recorded choice from the snapshot instead.
         self._forest = ForestIndex(
-            config or GramConfig(), backend=backend, shards=shards
+            config or GramConfig(),
+            backend=backend,
+            shards=shards,
+            metrics=self._metrics,
         )
         self._service: Optional[LookupService] = None
         self._batches_since_checkpoint = 0
         os.makedirs(directory, exist_ok=True)
         if os.path.exists(self._snapshot_path()):
-            self._recover(default_backend=backend, default_shards=shards)
+            with self._m_recovery_seconds.time(), \
+                    self._metrics.span("store.recover"):
+                self._recover(default_backend=backend, default_shards=shards)
         else:
             self._checkpoint()
+
+    def _bind_instruments(self, registry: MetricsRegistry) -> None:
+        self._m_wal_appends = registry.counter(
+            "wal_appends_total", "edit batches appended to the WAL"
+        )
+        self._m_wal_bytes = registry.counter(
+            "wal_bytes_total", "bytes appended to the WAL"
+        )
+        self._m_wal_fsyncs = registry.counter(
+            "wal_fsyncs_total", "fsync calls issued on the WAL file"
+        )
+        self._m_wal_replayed = registry.counter(
+            "wal_replayed_batches_total",
+            "committed WAL batches replayed during recovery",
+        )
+        self._m_checkpoints = registry.counter(
+            "checkpoints_total", "snapshots written (WAL truncations)"
+        )
+        self._m_checkpoint_seconds = registry.histogram(
+            "checkpoint_seconds", "wall seconds per snapshot write"
+        )
+        self._m_recovery_seconds = registry.histogram(
+            "recovery_seconds", "wall seconds per snapshot-load + WAL replay"
+        )
+        self._m_edit_batches = registry.counter(
+            "store_edit_batches_total",
+            "apply_edits batches durably applied (matches wal_appends_total)",
+        )
+        self._m_edit_ops = registry.counter(
+            "store_edit_ops_total", "edit operations durably applied"
+        )
 
     # ------------------------------------------------------------------
     # paths
@@ -205,18 +249,21 @@ class DocumentStore:
         probe = document.copy()
         EditScript(list(operations)).apply(probe)
 
-        self._append_wal(document_id, operations)
-        log = EditScript(list(operations)).apply(document)
-        # Incremental maintenance: the forest re-inverts only the keys
-        # the edit batch actually changed.
-        self._forest.update_tree(
-            document_id,
-            document,
-            log,
-            engine=engine or self._engine,
-            compact=compact,
-            jobs=jobs if jobs is not None else self._jobs,
-        )
+        with self._metrics.span("store.apply_edits"):
+            self._append_wal(document_id, operations)
+            log = EditScript(list(operations)).apply(document)
+            # Incremental maintenance: the forest re-inverts only the
+            # keys the edit batch actually changed.
+            self._forest.update_tree(
+                document_id,
+                document,
+                log,
+                engine=engine or self._engine,
+                compact=compact,
+                jobs=jobs if jobs is not None else self._jobs,
+            )
+        self._m_edit_batches.inc()
+        self._m_edit_ops.inc(len(operations))
 
         self._batches_since_checkpoint += 1
         if self._batches_since_checkpoint >= self._checkpoint_every:
@@ -231,6 +278,33 @@ class DocumentStore:
     def checkpoint(self) -> None:
         """Force a snapshot + WAL truncation."""
         self._checkpoint()
+
+    @property
+    def metrics_registry(self) -> MetricsRegistry:
+        """The store-wide metrics recorder (the shared no-op unless the
+        store was opened with ``metrics=``)."""
+        return self._metrics
+
+    def metrics(self) -> Dict[str, object]:
+        """One JSON-ready snapshot of every metric the store recorded:
+        WAL/checkpoint durability, recovery, maintenance engines,
+        backend sweeps and lookup pruning, plus state gauges refreshed
+        at call time."""
+        self._forest.sync_metric_gauges()
+        if self._metrics.enabled:
+            self._metrics.gauge(
+                "store_documents", "documents currently stored"
+            ).set(len(self._documents))
+        return self._metrics.snapshot()
+
+    def metrics_prometheus(self) -> str:
+        """The same snapshot in Prometheus text exposition format."""
+        self._forest.sync_metric_gauges()
+        if self._metrics.enabled:
+            self._metrics.gauge(
+                "store_documents", "documents currently stored"
+            ).set(len(self._documents))
+        return self._metrics.to_prometheus()
 
     def stats(self) -> Dict[str, object]:
         """Operational counters of the store.
@@ -295,6 +369,9 @@ class DocumentStore:
             handle.write(block)
             handle.flush()
             os.fsync(handle.fileno())
+        self._m_wal_appends.inc()
+        self._m_wal_bytes.inc(len(block.encode("utf-8")))
+        self._m_wal_fsyncs.inc()
 
     def _read_wal(self) -> List[Tuple[int, List[EditOperation]]]:
         """Committed batches of the WAL; a torn trailing batch is
@@ -354,6 +431,13 @@ class DocumentStore:
     _META_SCHEMA = Schema([Column("key", str), Column("value", str)])
 
     def _checkpoint(self) -> None:
+        with self._m_checkpoint_seconds.time(), \
+                self._metrics.span("store.checkpoint"):
+            self._write_checkpoint()
+        self._m_checkpoints.inc()
+        self._m_wal_fsyncs.inc()  # the truncation fsync below
+
+    def _write_checkpoint(self) -> None:
         database = Database()
         meta = database.create_table("meta", self._META_SCHEMA, ("key",))
         meta.insert({"key": "p", "value": str(self.config.p)})
@@ -412,6 +496,7 @@ class DocumentStore:
             GramConfig(int(meta["p"]), int(meta["q"])),
             backend=backend,
             shards=shards,
+            metrics=self._metrics,
         )
         self._documents = {}
         per_document: Dict[int, List[Dict[str, object]]] = {}
@@ -447,6 +532,7 @@ class DocumentStore:
                 document_id, document, log, engine=self._engine, jobs=self._jobs
             )
             replayed += 1
+        self._m_wal_replayed.inc(replayed)
         if replayed:
             self._checkpoint()
         self._batches_since_checkpoint = 0

@@ -195,6 +195,106 @@ class TestBackendConformance:
                 == service.lookup(query, tau).matches
             )
 
+    def test_remove_then_readd_same_id(self, name, kwargs):
+        """An id is fully reusable after removal — no stale postings,
+        sizes, or frozen-view residue under the old id."""
+        forest, reference = make_pair(kwargs)
+        collection = make_collection(6, seed=500)
+        forest.add_trees(collection)
+        reference.add_trees(collection)
+        forest.compact()  # freeze so removal must go through the overlay
+        replacement = random_labelled_tree(17, seed=501)
+        for target in (forest, reference):
+            target.remove_tree(2)
+            target.add_tree(2, replacement)
+        assert_equivalent(forest, reference)
+        # Re-adding the original tree after another round trip is exact.
+        original = dict(collection)[2]
+        for target in (forest, reference):
+            target.remove_tree(2)
+            target.add_tree(2, original)
+        assert_equivalent(forest, reference)
+        assert forest.index_of(2) == PQGramIndex.from_tree(
+            original, CONFIG, reference.hasher
+        )
+
+    def test_empty_and_singleton_trees(self, name, kwargs):
+        """Degenerate bags: an explicitly empty bag and a single-node
+        tree must survive every read path and removal."""
+        forest, reference = make_pair(kwargs)
+        singleton = random_labelled_tree(1, seed=601)
+        forest.add_tree(0, singleton)
+        reference.add_tree(0, singleton)
+        for backend in (forest.backend, reference.backend):
+            backend.add_tree_bag(7, {})
+        filler = [
+            (tree_id + 10, tree)
+            for tree_id, tree in make_collection(3, seed=600)
+        ]
+        forest.add_trees(filler)
+        reference.add_trees(filler)
+        forest.compact()
+        # The empty bag is a real (if invisible) member of the relation.
+        for backend in (forest.backend, reference.backend):
+            assert 7 in backend
+            assert backend.tree_size(7) == 0
+            assert backend.tree_bag(7) == {}
+        assert forest.backend.snapshot() == reference.backend.snapshot()
+        assert_equivalent(forest, reference)
+        # An empty-bag tree shares no pq-gram: it never becomes a
+        # candidate, so no sweep can emit (or crash on) it.
+        query = PQGramIndex.from_tree(singleton, CONFIG, reference.hasher)
+        assert 7 not in forest.backend.candidates(query.items())
+        for backend in (forest.backend, reference.backend):
+            backend.remove_tree(7)
+            assert 7 not in backend
+        assert_equivalent(forest, reference)
+
+    def test_metrics_parity_with_memory_reference(self, name, kwargs):
+        """The sweep-volume counters are backend-independent: keys
+        swept, postings touched and delta keys must match the memory
+        reference exactly on an identical workload.  (Deliberately not
+        in the parity set: ``index_candidates_emitted_total`` — the
+        sharded fan-out legitimately emits a tree once per overlapping
+        shard — and ``index_deltas_applied_total`` — only shards with a
+        non-empty part apply.)"""
+        from repro.obsv import MetricsRegistry
+
+        registries = {}
+        counters = {}
+        for label, forest_kwargs in (("candidate", kwargs),
+                                     ("reference", {"backend": "memory"})):
+            registry = MetricsRegistry()
+            forest = ForestIndex(CONFIG, metrics=registry, **forest_kwargs)
+            forest.add_trees(make_collection(8, seed=700))
+            forest.compact()
+            query = PQGramIndex.from_tree(
+                random_labelled_tree(12, seed=701), CONFIG, forest.hasher
+            )
+            for tau in TAUS:
+                forest.distances(query, tau=tau)
+            base = dict(make_collection(8, seed=700))[3]
+            script = dblp_update_script(base, 5, seed=702)
+            edited, log = apply_script(base, script)
+            forest.update_tree(3, edited, log, engine="batch")
+            registries[label] = registry
+            counters[label] = {
+                counter_name: registry.counter_value(counter_name)
+                for counter_name in (
+                    "index_keys_swept_total",
+                    "index_postings_touched_total",
+                    "index_delta_keys_total",
+                    "lookup_candidates_total",
+                    "lookup_candidates_pruned_total",
+                    "lookup_candidates_scored_total",
+                    "lookup_matches_total",
+                    "maintain_delta_keys_total",
+                )
+            }
+        assert counters["candidate"] == counters["reference"]
+        assert counters["candidate"]["index_keys_swept_total"] > 0
+        assert counters["candidate"]["index_delta_keys_total"] > 0
+
     def test_add_trees_all_or_nothing(self, name, kwargs):
         """A duplicate anywhere in the batch — against the forest or
         within the batch itself — commits nothing."""

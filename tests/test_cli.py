@@ -116,6 +116,61 @@ class TestStoreCommands:
         assert "doc 1\tok" in output
         assert "0 mismatch" in output
 
+    def test_verify_reports_mismatched_ids_and_fails(
+        self, xml_files, tmp_path, capsys
+    ):
+        """Satellite regression: a corrupted index must fail verify
+        with the offending document ids named, not just a count."""
+        from repro.core import GramConfig
+        from repro.service import DocumentStore
+
+        old_path, new_path = xml_files
+        store_dir = str(tmp_path / "store")
+        main(["store", "--dir", store_dir, "add", "1", old_path])
+        main(["store", "--dir", store_dir, "add", "2", new_path])
+        capsys.readouterr()
+        # Corrupt document 2's index relation behind the store's back
+        # (a legal delta, so backend-internal consistency still holds —
+        # only the rebuild comparison can catch it) and persist it.
+        store = DocumentStore(store_dir, GramConfig(3, 3))
+        bag = dict(store._forest.backend.tree_bag(2))
+        key = next(iter(bag))
+        store._forest.backend.apply_tree_delta(2, {}, {key: 1})
+        store.checkpoint()
+        del store
+        assert main(["store", "--dir", store_dir, "verify"]) == 1
+        output = capsys.readouterr().out
+        assert "doc 1\tok" in output
+        assert "doc 2\tMISMATCH" in output
+        assert "1 mismatch(es)" in output
+        assert "mismatched ids: 2" in output
+        assert "backend consistency\tok" in output
+
+    def test_verify_reports_backend_inconsistency(
+        self, xml_files, tmp_path, capsys, monkeypatch
+    ):
+        """verify exercises the backend's own invariant check and
+        turns a failure into a named report + non-zero exit.  (True
+        on-disk corruption cannot survive recovery's rebuild, so the
+        check is forced to fail here.)"""
+        from repro.backend.compact import CompactBackend
+        from repro.errors import IndexConsistencyError
+
+        old_path, _ = xml_files
+        store_dir = str(tmp_path / "store")
+        main(["store", "--dir", store_dir, "add", "1", old_path])
+        capsys.readouterr()
+
+        def broken(self):
+            raise IndexConsistencyError("planted drift")
+
+        monkeypatch.setattr(CompactBackend, "check_consistency", broken)
+        assert main(["store", "--dir", store_dir, "verify"]) == 1
+        output = capsys.readouterr().out
+        assert "doc 1\tok" in output
+        assert "backend consistency\tFAILED: planted drift" in output
+        assert "0 mismatch(es)" in output
+
     def test_duplicates_finds_planted_pair(self, xml_files, tmp_path, capsys):
         old_path, new_path = xml_files
         store_dir = str(tmp_path / "store")
@@ -198,3 +253,62 @@ class TestApplylogAndStats:
         assert "hasher_labels:" in output
         assert "hasher_hits:" in output
         assert "hasher_misses:" in output
+
+
+class TestMetricsCommands:
+    @pytest.fixture
+    def store_dir(self, xml_files, tmp_path, capsys):
+        old_path, _ = xml_files
+        directory = str(tmp_path / "store")
+        main(["store", "--dir", directory, "add", "1", old_path])
+        capsys.readouterr()
+        return directory
+
+    def test_metrics_json_covers_recovery(self, store_dir, capsys):
+        import json
+
+        assert main(["metrics", "--dir", store_dir]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["gauges"]["store_documents"] == 1
+        assert snapshot["histograms"]["recovery_seconds"]["count"] == 1
+        assert any(
+            span["name"] == "store.recover" for span in snapshot["spans"]
+        )
+
+    def test_metrics_prometheus_with_query(
+        self, store_dir, xml_files, capsys
+    ):
+        old_path, _ = xml_files
+        assert main(
+            ["metrics", "--dir", store_dir, "--format", "prometheus",
+             "--query", old_path, "--tau", "0.5"]
+        ) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE lookup_distance_scans_total counter" in text
+        assert "lookup_distance_scans_total 1" in text
+        assert "lookup_matches_total 1" in text  # the document itself
+        assert "recovery_seconds_count 1" in text
+
+    def test_stats_metrics_appends_registry(self, store_dir, capsys):
+        import json
+
+        assert main(
+            ["store", "--dir", store_dir, "stats", "--metrics"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "documents: 1" in output
+        snapshot = json.loads(output.split("\n\n", 1)[1])
+        assert snapshot["gauges"]["forest_trees"] == 1
+
+    def test_stats_metrics_prometheus_format(self, store_dir, capsys):
+        assert main(
+            ["store", "--dir", store_dir, "stats", "--metrics",
+             "--format", "prometheus"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "# TYPE store_documents gauge" in output
+        assert "store_documents 1" in output
+
+    def test_plain_stats_has_no_registry_tail(self, store_dir, capsys):
+        assert main(["store", "--dir", store_dir, "stats"]) == 0
+        assert "counters" not in capsys.readouterr().out

@@ -1,0 +1,138 @@
+"""Crash-injection: WAL torn at every byte offset of the final record.
+
+The commit protocol claims a crash window anywhere after the WAL
+append leaves the store recoverable: a batch whose COMMIT line made
+it to disk is replayed, anything less is dropped wholesale.  This
+suite makes the claim exhaustive — the WAL is truncated at *every*
+byte offset across the final record and the store reopened each time;
+reopening must never raise, and the recovered state must be
+bit-identical to either the pre-batch or the post-batch store (no
+third state, no partially applied batch).
+"""
+
+import os
+import shutil
+
+import pytest
+
+from repro.core import GramConfig
+from repro.service import DocumentStore
+from repro.tree import tree_from_brackets
+
+CONFIG = GramConfig(2, 3)
+WAL = "wal.log"
+
+
+def store_state(store):
+    """Bit-identical comparison key: every document's exact node
+    structure plus the backend's full index relation."""
+    documents = {}
+    for document_id in store.document_ids():
+        tree = store.get_document(document_id)
+        documents[document_id] = sorted(
+            (node_id, tree.parent(node_id), tree.label(node_id))
+            for node_id in tree.node_ids()
+        )
+    return documents, store._forest.backend.snapshot()
+
+
+def build_store(directory, engine):
+    from repro.edits import Insert, Rename
+
+    store = DocumentStore(
+        directory, CONFIG, checkpoint_every=1000, engine=engine
+    )
+    store.add_document(1, tree_from_brackets("a(b(c,d),e(f))"))
+    store.add_document(2, tree_from_brackets("x(y,z)"))
+    # One committed batch before the final record, so recovery always
+    # has a prefix to replay regardless of where the tail is torn.
+    store.apply_edits(1, [Rename(2, "bb"), Insert(8, "g", 1, 1, 0)])
+    return store
+
+
+@pytest.mark.parametrize("engine", ["replay", "batch"])
+def test_truncate_every_offset_of_final_record(tmp_path, engine):
+    origin = str(tmp_path / "origin")
+    store = build_store(origin, engine)
+    pre_batch = store_state(store)
+    wal_path = os.path.join(origin, WAL)
+    final_record_start = os.path.getsize(wal_path)
+
+    from repro.edits import Delete, Rename
+
+    store.apply_edits(1, [Rename(1, "aa"), Delete(3), Rename(5, "ff")])
+    post_batch = store_state(store)
+    wal_size = os.path.getsize(wal_path)
+    assert wal_size > final_record_start
+    assert pre_batch != post_batch
+
+    recovered_pre = recovered_post = 0
+    for offset in range(final_record_start, wal_size + 1):
+        workdir = str(tmp_path / f"crash_{engine}_{offset}")
+        shutil.copytree(origin, workdir)
+        with open(os.path.join(workdir, WAL), "r+b") as handle:
+            handle.truncate(offset)
+        reopened = DocumentStore(
+            workdir, CONFIG, checkpoint_every=1000, engine=engine
+        )  # must never raise
+        state = store_state(reopened)
+        if state == post_batch:
+            recovered_post += 1
+        else:
+            assert state == pre_batch, (
+                f"torn WAL at offset {offset} recovered a third state"
+            )
+            recovered_pre += 1
+        shutil.rmtree(workdir)
+    # Both outcomes must actually occur across the sweep: tears before
+    # the COMMIT sentinel roll back; once its text is fully on disk
+    # (trailing newline or not) the batch replays.
+    assert recovered_pre + recovered_post == wal_size + 1 - final_record_start
+    assert recovered_post == 2  # "...COMMIT" and "...COMMIT\n"
+    assert recovered_pre == wal_size - 1 - final_record_start
+
+
+@pytest.mark.parametrize("engine", ["replay", "batch"])
+def test_truncation_inside_earlier_record_drops_the_tail(tmp_path, engine):
+    """A tear inside an *earlier* record invalidates everything after
+    it too — recovery stops at the first non-committed block instead of
+    resynchronizing on a later BEGIN."""
+    from repro.edits import Rename
+
+    origin = str(tmp_path / "origin")
+    store = build_store(origin, engine)
+    wal_path = os.path.join(origin, WAL)
+    reopened = DocumentStore(
+        origin, CONFIG, checkpoint_every=1000, engine=engine
+    )
+    # Reopening replays + checkpoints; grab the folded snapshot state,
+    # then append two more batches for a multi-record WAL.
+    snapshot_state = store_state(reopened)
+    reopened.apply_edits(1, [Rename(2, "q1")])
+    middle_state = store_state(reopened)
+    reopened.apply_edits(1, [Rename(2, "q2")])
+    with open(wal_path, "rb") as handle:
+        wal_bytes = handle.read()
+    # Tear a few bytes into the FIRST of the two records (offset
+    # ``first_len - 2`` cuts into the COMMIT sentinel itself; one byte
+    # later the sentinel text is complete and the batch would commit).
+    first_len = wal_bytes.index(b"COMMIT\n") + len(b"COMMIT\n")
+    for offset in (1, first_len - 2):
+        workdir = str(tmp_path / f"tail_{engine}_{offset}")
+        shutil.copytree(origin, workdir)
+        with open(os.path.join(workdir, WAL), "r+b") as handle:
+            handle.truncate(offset)
+        recovered = DocumentStore(
+            workdir, CONFIG, checkpoint_every=1000, engine=engine
+        )
+        assert store_state(recovered) == snapshot_state
+        shutil.rmtree(workdir)
+    # Torn exactly on the record boundary: the first batch survives.
+    workdir = str(tmp_path / f"tail_{engine}_boundary")
+    shutil.copytree(origin, workdir)
+    with open(os.path.join(workdir, WAL), "r+b") as handle:
+        handle.truncate(first_len)
+    recovered = DocumentStore(
+        workdir, CONFIG, checkpoint_every=1000, engine=engine
+    )
+    assert store_state(recovered) == middle_state

@@ -1,0 +1,198 @@
+"""Metric invariants: counters must agree with the work they describe.
+
+Three families, per ISSUE acceptance:
+
+- the pruning ledger — every candidate a distance scan considers is
+  either pruned by the tau size bound or scored, never both, never
+  dropped: ``pruned + scored == total`` on every backend and tau;
+- shard roll-up — the sharded backend's fan-out counters are an exact
+  additive partition of the unsharded sweep (keys routed per shard sum
+  to keys swept; keys/postings/delta-key totals match the memory
+  backend run of the same workload);
+- durability pairing — every ``apply_edits`` batch appends exactly one
+  WAL record: ``wal_appends_total == store_edit_batches_total``.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import GramConfig, PQGramIndex
+from repro.edits.script import apply_script
+from repro.edits.generator import EditScriptGenerator
+from repro.lookup import ForestIndex
+from repro.obsv import MetricsRegistry
+from repro.service import DocumentStore
+from repro.tree import tree_from_brackets
+
+from tests.conftest import build_random_tree
+
+import random
+
+CONFIG = GramConfig(2, 3)
+BACKENDS = [
+    ("memory", None),
+    ("compact", None),
+    ("sharded", 1),
+    ("sharded", 4),
+]
+
+PROPERTY_SETTINGS = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def build_forest(backend, shards, seed, tree_count=12):
+    registry = MetricsRegistry()
+    forest = ForestIndex(CONFIG, backend=backend, shards=shards,
+                         metrics=registry)
+    forest.add_trees(
+        (tree_id, build_random_tree(4 + (seed + tree_id) % 14,
+                                    seed=seed * 100 + tree_id))
+        for tree_id in range(tree_count)
+    )
+    return forest, registry
+
+
+def run_lookups(forest, seed, taus=(0.05, 0.3, 0.8, 1.5)):
+    forest.compact()
+    queries = [build_random_tree(5 + offset, seed=seed * 7 + offset)
+               for offset in range(3)]
+    for query in queries:
+        query_index = PQGramIndex.from_tree(query, CONFIG, forest.hasher)
+        for tau in taus:
+            forest.distances(query_index, tau=tau)
+        forest.distances(query_index)  # full scan: total == scored
+
+
+class TestPruningLedger:
+    @PROPERTY_SETTINGS
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_pruned_plus_scored_equals_total_every_backend(self, seed):
+        for backend, shards in BACKENDS:
+            forest, registry = build_forest(backend, shards, seed)
+            run_lookups(forest, seed)
+            total = registry.counter_value("lookup_candidates_total")
+            pruned = registry.counter_value("lookup_candidates_pruned_total")
+            scored = registry.counter_value("lookup_candidates_scored_total")
+            assert total == pruned + scored, (backend, shards)
+            assert registry.counter_value("lookup_distance_scans_total") > 0
+
+    def test_tiny_tau_prunes_and_large_tau_scores(self):
+        forest, registry = build_forest("memory", None, seed=5, tree_count=8)
+        big = tree_from_brackets("a(" + ",".join("b" * 1 for _ in range(30)) + ")")
+        forest.add_tree(99, big)
+        query = tree_from_brackets("a(b,c)")
+        query_index = PQGramIndex.from_tree(query, CONFIG, forest.hasher)
+        forest.distances(query_index, tau=0.01)
+        assert registry.counter_value("lookup_candidates_pruned_total") > 0
+        total = registry.counter_value("lookup_candidates_total")
+        assert total == (
+            registry.counter_value("lookup_candidates_pruned_total")
+            + registry.counter_value("lookup_candidates_scored_total")
+        )
+
+
+class TestShardRollUp:
+    @PROPERTY_SETTINGS
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=1, max_value=5),
+    )
+    def test_fanout_counters_sum_to_unsharded_totals(self, seed, shard_count):
+        reference, reference_registry = build_forest("memory", None, seed)
+        sharded, sharded_registry = build_forest("sharded", shard_count, seed)
+        run_lookups(reference, seed)
+        run_lookups(sharded, seed)
+
+        for name in ("index_keys_swept_total", "index_postings_touched_total"):
+            assert sharded_registry.counter_value(name) == \
+                reference_registry.counter_value(name), name
+        # Routing partitions the query keys: per-shard route counters
+        # are an exact decomposition of the sharded sweep total.
+        routed = sum(
+            sharded_registry.counter_value(
+                "shard_keys_routed_total", shard=index
+            )
+            for index in range(shard_count)
+        )
+        assert routed == sharded_registry.counter_value(
+            "index_keys_swept_total"
+        )
+        # The lookup layer sits above the backend split: its ledger is
+        # identical between the two runs.
+        for name in (
+            "lookup_candidates_total",
+            "lookup_candidates_pruned_total",
+            "lookup_candidates_scored_total",
+            "lookup_matches_total",
+        ):
+            assert sharded_registry.counter_value(name) == \
+                reference_registry.counter_value(name), name
+
+    @PROPERTY_SETTINGS
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=2, max_value=4),
+    )
+    def test_delta_keys_match_across_backends(self, seed, shard_count):
+        results = {}
+        for backend, shards in (("memory", None), ("sharded", shard_count)):
+            forest, registry = build_forest(backend, shards, seed)
+            base = build_random_tree(12, seed=seed + 1)
+            forest.add_tree(50, base)
+            generator = EditScriptGenerator(
+                rng=random.Random(seed), labels=["a", "b", "x"]
+            )
+            script = generator.generate(base, 6)
+            edited, log = apply_script(base, script)
+            forest.update_tree(50, edited, log, engine="replay")
+            results[backend] = (
+                registry.counter_value("maintain_delta_keys_total"),
+                registry.counter_value("index_delta_keys_total"),
+            )
+        # Within one run the backend re-inverts exactly the keys the
+        # maintenance delta named; across backends the totals agree
+        # because shards partition the key space.
+        for backend, (maintain_keys, index_keys) in results.items():
+            assert maintain_keys == index_keys, backend
+        assert results["memory"] == results["sharded"]
+
+
+class TestDurabilityPairing:
+    def test_wal_appends_match_batches_applied(self, tmp_path):
+        registry = MetricsRegistry()
+        store = DocumentStore(
+            str(tmp_path / "store"),
+            CONFIG,
+            checkpoint_every=1000,
+            metrics=registry,
+        )
+        store.add_document(1, tree_from_brackets("a(b(c),d)"))
+        from repro.edits import Rename
+
+        batches = 5
+        for round_number in range(batches):
+            store.apply_edits(1, [Rename(2, f"l{round_number}")])
+        assert registry.counter_value("wal_appends_total") == batches
+        assert registry.counter_value("store_edit_batches_total") == batches
+        assert registry.counter_value("store_edit_ops_total") == batches
+        assert registry.counter_value("wal_fsyncs_total") >= batches
+
+    def test_replayed_batches_counted_on_reopen(self, tmp_path):
+        directory = str(tmp_path / "store")
+        store = DocumentStore(directory, CONFIG, checkpoint_every=1000)
+        store.add_document(1, tree_from_brackets("a(b,c)"))
+        from repro.edits import Rename
+
+        store.apply_edits(1, [Rename(1, "x")])
+        store.apply_edits(1, [Rename(2, "y")])
+        registry = MetricsRegistry()
+        reopened = DocumentStore(
+            directory, CONFIG, checkpoint_every=1000, metrics=registry
+        )
+        assert registry.counter_value("wal_replayed_batches_total") == 2
+        assert reopened.get_document(1).label(1) == "x"
+        snapshot = reopened.metrics()
+        assert snapshot["histograms"]["recovery_seconds"]["count"] == 1
