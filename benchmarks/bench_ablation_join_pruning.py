@@ -25,7 +25,6 @@ from repro.datasets import dblp_tree, dblp_update_script
 from repro.datasets.random_trees import random_labelled_tree
 from repro.edits import apply_script
 from repro.lookup import ForestIndex, self_join, similarity_join_allpairs
-from repro.tree import Tree
 
 sys.path.insert(0, __file__.rsplit("/", 1)[0])
 from conftest import emit, format_table, wall_time

@@ -16,7 +16,6 @@ import sys
 import pytest
 
 from repro.core import GramConfig, PQGramIndex, update_index_replay
-from repro.datasets import xmark_tree
 from repro.edits import Move, apply_script, move_subtree_ops
 from repro.hashing import LabelHasher
 from repro.tree import Tree

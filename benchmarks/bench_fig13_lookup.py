@@ -14,7 +14,7 @@ tree counts {16, 64, 256}.
 from __future__ import annotations
 
 import sys
-from typing import Dict, List, Tuple
+from typing import List, Tuple
 
 import pytest
 

@@ -12,7 +12,6 @@ log of 20 record-local operations, both maintenance engines measured.
 from __future__ import annotations
 
 import sys
-from typing import Tuple
 
 import pytest
 

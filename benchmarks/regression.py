@@ -16,12 +16,16 @@ the checked-in baseline::
 
     PYTHONPATH=src python benchmarks/regression.py            # gate
     PYTHONPATH=src python benchmarks/regression.py --rebaseline
+    PYTHONPATH=src python benchmarks/regression.py --tolerance 1.25
 
 ``--rebaseline`` rewrites ``benchmarks/regression_baseline.json`` from
-the current run (do this deliberately, on a quiet machine).  The 2×
-tolerance absorbs machine-to-machine and load jitter; a real
-regression (an accidentally quadratic sweep, a dropped cache) blows
-straight through it.
+the current run (do this deliberately, on a quiet machine).  The
+default 2× tolerance absorbs machine-to-machine and load jitter; a
+real regression (an accidentally quadratic sweep, a dropped cache)
+blows straight through it.  ``--tolerance`` (or the
+``REGRESSION_TOLERANCE`` environment variable) tightens or loosens
+the gate — the nightly workflow runs at 1.25×, which would flake on
+cold PR runners but holds on the scheduled, otherwise-idle ones.
 """
 
 from __future__ import annotations
@@ -225,7 +229,7 @@ def measure_metrics_overhead() -> Dict[str, float]:
     return times
 
 
-def run(rebaseline: bool) -> int:
+def run(rebaseline: bool, tolerance: float = TOLERANCE) -> int:
     lookup = measure_lookup()
     backend = measure_backend()
     update = measure_update()
@@ -285,8 +289,8 @@ def run(rebaseline: bool) -> int:
             failures.append(f"{key}: missing from current run")
             continue
         verdict = "ok"
-        if measured > TOLERANCE * reference:
-            verdict = f"REGRESSION (> {TOLERANCE:.0f}x)"
+        if measured > tolerance * reference:
+            verdict = f"REGRESSION (> {tolerance:.2f}x)"
             failures.append(
                 f"{key}: {measured:.3f} ms vs baseline {reference:.3f} ms"
             )
@@ -304,5 +308,25 @@ def run(rebaseline: bool) -> int:
     return 0
 
 
+def _parse_args(argv):
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rebaseline",
+        action="store_true",
+        help="rewrite the checked-in baseline from this run",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(os.environ.get("REGRESSION_TOLERANCE", TOLERANCE)),
+        help="fail when measured > tolerance x baseline "
+        "(default: REGRESSION_TOLERANCE env var, else %(default)s)",
+    )
+    return parser.parse_args(argv)
+
+
 if __name__ == "__main__":
-    sys.exit(run(rebaseline="--rebaseline" in sys.argv[1:]))
+    _args = _parse_args(sys.argv[1:])
+    sys.exit(run(rebaseline=_args.rebaseline, tolerance=_args.tolerance))

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from typing import (
+    TYPE_CHECKING,
     Callable,
     Dict,
     Iterable,
@@ -41,6 +42,9 @@ from typing import (
 )
 
 from repro.obsv.metrics import NULL_REGISTRY, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.concurrency.snapshot import SnapshotHandle
 
 Key = Tuple[int, ...]
 Bag = Dict[Key, int]
@@ -55,6 +59,13 @@ class ForestBackend(ABC):
 
     #: the bound metrics recorder (the shared no-op by default)
     metrics: MetricsRegistry = NULL_REGISTRY
+
+    #: whether the backend synchronizes concurrent writers internally
+    #: (the sharded backend's per-shard locks).  When False, the forest
+    #: facade serializes every mutation under its exclusive lock; when
+    #: True, mutations run under the shared lock and disjoint writes
+    #: proceed in parallel.  See ``docs/CONCURRENCY.md``.
+    supports_concurrent_writes: bool = False
 
     # ------------------------------------------------------------------
     # observability binding
@@ -193,6 +204,51 @@ class ForestBackend(ABC):
         Backends without such a view treat this as a no-op.  Results
         are identical with or without compaction — only the sweep cost
         changes.
+        """
+
+    def needs_compaction(self) -> bool:
+        """Whether :meth:`compact` would actually rebuild anything.
+
+        The background refreeze worker polls this after every committed
+        batch; backends without a read-optimized view always answer
+        False so the worker never takes the exclusive lock for them.
+        """
+        return False
+
+    # ------------------------------------------------------------------
+    # snapshot isolation
+    # ------------------------------------------------------------------
+
+    def freeze_view(self) -> "SnapshotHandle":
+        """An immutable read view of the relation as it stands now.
+
+        The returned :class:`~repro.concurrency.snapshot.SnapshotHandle`
+        answers ``candidates`` / size reads bit-identically to this
+        backend at freeze time and never changes afterwards — the
+        serving layer hands it to reader threads so lookups proceed
+        while writers mutate the live relation.  Must be called with
+        writers excluded (the forest facade holds its exclusive lock).
+
+        The default implementation copies the inverted lists
+        (O(postings)); backends with immutable internal structure
+        override it with something cheaper.
+        """
+        from repro.concurrency.snapshot import DictSnapshot
+
+        return DictSnapshot(
+            {key: dict(postings) for key, postings in self.iter_postings()},
+            dict(self.iter_sizes()),
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release background resources (thread pools); idempotent.
+
+        Reads and writes after ``close`` are undefined.  Backends
+        without background resources treat this as a no-op.
         """
 
     # ------------------------------------------------------------------

@@ -95,7 +95,13 @@ class CompactBackend(MemoryBackend):
 
     def compact(self) -> None:
         """Freeze (or re-freeze, past the dirty threshold) the CSR
-        snapshot.  A no-op without numpy."""
+        snapshot.  A no-op without numpy.
+
+        The rebuild constructs a *new* CSR and swaps the reference in
+        one assignment — snapshot handles pinning the previous CSR
+        keep it alive and stay bit-identical (their overlay copies
+        mask exactly the keys that were dirty at their generation).
+        """
         if not HAVE_NUMPY:
             return
         if self._stale():
@@ -107,6 +113,40 @@ class CompactBackend(MemoryBackend):
                 )
             self._dirty.clear()
             self._m_refreezes.inc()
+
+    def needs_compaction(self) -> bool:
+        return HAVE_NUMPY and self._stale()
+
+    # ------------------------------------------------------------------
+    # snapshot isolation
+    # ------------------------------------------------------------------
+
+    def freeze_view(self):
+        """O(dirty + trees) immutable view: the frozen CSR is shared
+        (it never mutates after build), only the dirty-key overlay and
+        the size metadata are copied.  Dirty keys whose postings have
+        emptied out stay in the dirty set so the view never falls back
+        to the stale frozen entries for them."""
+        from repro.concurrency.snapshot import OverlaySnapshot
+
+        if self._frozen is None:
+            # Nothing frozen yet: the overlay is the whole relation.
+            return OverlaySnapshot(
+                None,
+                frozenset(),
+                {key: dict(postings) for key, postings in self._inverted.items()},
+                dict(self._sizes),
+            )
+        return OverlaySnapshot(
+            self._frozen,
+            frozenset(self._dirty),
+            {
+                key: dict(self._inverted[key])
+                for key in self._dirty
+                if key in self._inverted
+            },
+            dict(self._sizes),
+        )
 
     # ------------------------------------------------------------------
     # read path

@@ -23,6 +23,7 @@ either way.
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.backend.base import Admit, Bag, ForestBackend, Key
@@ -37,6 +38,11 @@ class ShardedBackend(ForestBackend):
 
     name = "sharded"
 
+    #: concurrent writers are synchronized by the per-shard locks (plus
+    #: the metadata mutex), so the forest facade runs mutations under
+    #: its *shared* lock and disjoint-shard writes proceed in parallel.
+    supports_concurrent_writes = True
+
     def __init__(
         self,
         shards: int = 4,
@@ -50,6 +56,12 @@ class ShardedBackend(ForestBackend):
         self._sizes: Dict[int, int] = {}
         self._parallel = parallel and shards > 1
         self._pool = None
+        # One mutex per shard (inner backends are single-threaded) plus
+        # one for the tree-membership/size metadata.  Locks are only
+        # ever held one at a time, so no ordering discipline is needed.
+        self._shard_locks = [threading.Lock() for _ in range(shards)]
+        self._meta_lock = threading.Lock()
+        self._pool_lock = threading.Lock()
         self.bind_metrics(NULL_REGISTRY)
 
     def _bind_instruments(self, registry: MetricsRegistry) -> None:
@@ -96,16 +108,23 @@ class ShardedBackend(ForestBackend):
         return parts
 
     def _map(self, calls: List[Callable[[], object]]) -> List[object]:
-        """Run one thunk per shard, threaded when ``parallel``."""
+        """Run one thunk per shard, threaded when ``parallel``.
+
+        The executor is created lazily exactly once (guarded — two
+        racing sweeps must not leak a second pool) and reused for every
+        subsequent fan-out until :meth:`close` shuts it down.
+        """
         if not self._parallel or len(calls) < 2:
             return [call() for call in calls]
         if self._pool is None:
-            from concurrent.futures import ThreadPoolExecutor
+            with self._pool_lock:
+                if self._pool is None:
+                    from concurrent.futures import ThreadPoolExecutor
 
-            self._pool = ThreadPoolExecutor(
-                max_workers=len(self.shards),
-                thread_name_prefix="forest-shard",
-            )
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=len(self.shards),
+                        thread_name_prefix="forest-shard",
+                    )
         return list(self._pool.map(lambda call: call(), calls))
 
     # ------------------------------------------------------------------
@@ -113,32 +132,39 @@ class ShardedBackend(ForestBackend):
     # ------------------------------------------------------------------
 
     def add_tree_bag(self, tree_id: int, bag: Mapping[Key, int]) -> None:
-        if tree_id in self._sizes:
-            raise StorageError(f"tree id {tree_id} is already indexed")
+        with self._meta_lock:
+            if tree_id in self._sizes:
+                raise StorageError(f"tree id {tree_id} is already indexed")
+            self._sizes[tree_id] = sum(bag.values())
         parts = self._split(bag)
-        for shard, part in zip(self.shards, parts):
-            shard.add_tree_bag(tree_id, part)
-        self._sizes[tree_id] = sum(bag.values())
+        for index, (shard, part) in enumerate(zip(self.shards, parts)):
+            with self._shard_locks[index]:
+                shard.add_tree_bag(tree_id, part)
 
     def apply_tree_delta(
         self, tree_id: int, minus: Mapping[Key, int], plus: Mapping[Key, int]
     ) -> None:
-        if tree_id not in self._sizes:
-            raise StorageError(f"tree id {tree_id} is not indexed")
+        with self._meta_lock:
+            if tree_id not in self._sizes:
+                raise StorageError(f"tree id {tree_id} is not indexed")
         minus_parts = self._split(minus)
         plus_parts = self._split(plus)
-        for shard, minus_part, plus_part in zip(
-            self.shards, minus_parts, plus_parts
+        for index, (shard, minus_part, plus_part) in enumerate(
+            zip(self.shards, minus_parts, plus_parts)
         ):
             if minus_part or plus_part:
-                shard.apply_tree_delta(tree_id, minus_part, plus_part)
-        self._sizes[tree_id] += sum(plus.values()) - sum(minus.values())
+                with self._shard_locks[index]:
+                    shard.apply_tree_delta(tree_id, minus_part, plus_part)
+        with self._meta_lock:
+            self._sizes[tree_id] += sum(plus.values()) - sum(minus.values())
 
     def remove_tree(self, tree_id: int) -> None:
-        if self._sizes.pop(tree_id, None) is None:
-            return
-        for shard in self.shards:
-            shard.remove_tree(tree_id)
+        with self._meta_lock:
+            if self._sizes.pop(tree_id, None) is None:
+                return
+        for index, shard in enumerate(self.shards):
+            with self._shard_locks[index]:
+                shard.remove_tree(tree_id)
 
     def restore(self, bags: Mapping[int, Mapping[Key, int]]) -> None:
         per_shard: List[Dict[int, Bag]] = [{} for _ in self.shards]
@@ -236,6 +262,28 @@ class ShardedBackend(ForestBackend):
 
     def compact(self) -> None:
         self._map([shard.compact for shard in self.shards])
+
+    def needs_compaction(self) -> bool:
+        return any(shard.needs_compaction() for shard in self.shards)
+
+    def freeze_view(self):
+        """Compose one immutable inner view per shard (must be called
+        with writers excluded, like every ``freeze_view``)."""
+        from repro.concurrency.snapshot import ShardSnapshot
+
+        return ShardSnapshot(
+            [shard.freeze_view() for shard in self.shards],
+            self.shard_of,
+            dict(self._sizes),
+        )
+
+    def close(self) -> None:
+        pool = self._pool
+        self._pool = None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        for shard in self.shards:
+            shard.close()
 
     def stats(self) -> Dict[str, object]:
         inner = [shard.stats() for shard in self.shards]

@@ -8,7 +8,13 @@ over XML files and store directories:
 - ``diff``      edit script between two XML file versions
 - ``metrics``   open a store with observability on, emit the registry
 - ``store ...`` manage a durable document store:
-  ``store create / add / edit / applylog / lookup / list / show / stats``
+  ``store create / add / edit / applylog / lookup / list / show /
+  stats / verify / duplicates / soak``
+
+``store --serve-threads N`` opens the store in concurrent serving mode
+(snapshot-isolated lookups, coalesced group-commit writes, background
+refreeze); ``store soak`` runs the concurrent endurance workload and is
+expected to be followed by ``store verify``.
 
 Examples::
 
@@ -21,6 +27,8 @@ Examples::
     python -m repro store --dir ./mystore applylog 1 edits.log --engine batch --jobs 4
     python -m repro store --dir ./mystore lookup query.xml --tau 0.4
     python -m repro store --dir ./mystore stats --metrics
+    python -m repro store --dir ./mystore soak --threads 8 --duration 60
+    python -m repro store --dir ./mystore verify
     python -m repro metrics --dir ./mystore --format prometheus
     python -m repro metrics --dir ./mystore --query query.xml --tau 0.4
 """
@@ -108,6 +116,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     store_parser = commands.add_parser("store", help="manage a document store")
     store_parser.add_argument("--dir", required=True, help="store directory")
+    store_parser.add_argument(
+        "--serve-threads",
+        type=int,
+        default=0,
+        metavar="N",
+        help="open the store in concurrent serving mode for N client "
+        "threads (snapshot-isolated lookups, coalesced group-commit "
+        "writes, background refreeze); 0 (default) is the synchronous "
+        "single-threaded mode",
+    )
     _add_gram_arguments(store_parser)
     store_commands = store_parser.add_subparsers(dest="store_command", required=True)
 
@@ -223,6 +241,39 @@ def _build_parser() -> argparse.ArgumentParser:
         "duplicates", help="similarity self-join over the stored documents"
     )
     dupes_parser.add_argument("--tau", type=float, default=0.3)
+
+    soak_parser = store_commands.add_parser(
+        "soak",
+        help="concurrent soak: writer threads stream edit batches while "
+        "reader threads run lookups against snapshot-isolated views; "
+        "follow up with 'store verify' to check the maintained indexes",
+    )
+    soak_parser.add_argument(
+        "--threads", type=int, default=4, metavar="N",
+        help="writer threads (each owns a disjoint document slice)",
+    )
+    soak_parser.add_argument(
+        "--readers", type=int, default=None, metavar="M",
+        help="reader threads (default: same as --threads)",
+    )
+    soak_parser.add_argument(
+        "--duration", type=float, default=10.0, metavar="SECONDS",
+        help="wall-clock run time (default 10s)",
+    )
+    soak_parser.add_argument(
+        "--docs-per-writer", type=int, default=4, metavar="K",
+        help="fresh documents seeded per writer (default 4)",
+    )
+    soak_parser.add_argument(
+        "--ops-per-batch", type=int, default=4, metavar="X",
+        help="max edit operations per batch (default 4)",
+    )
+    soak_parser.add_argument(
+        "--tree-size", type=int, default=40, metavar="NODES",
+        help="node count of the seeded documents (default 40)",
+    )
+    soak_parser.add_argument("--tau", type=float, default=0.6)
+    soak_parser.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -307,11 +358,26 @@ def _command_store(arguments: argparse.Namespace) -> int:
             described += f" ({store.stats()['shards']} shards)"
         print(f"created store at {arguments.dir} (backend {described})")
         return 0
+    serve_threads = arguments.serve_threads
+    if arguments.store_command == "soak" and serve_threads == 0:
+        # The soak is meaningless without the serving machinery.
+        serve_threads = arguments.threads
     store = DocumentStore(
         arguments.dir,
         GramConfig(arguments.p, arguments.q),
         metrics=getattr(arguments, "metrics", False) or None,
+        serve_threads=serve_threads,
     )
+    try:
+        return _run_store_command(store, arguments)
+    finally:
+        if serve_threads:
+            store.close()
+
+
+def _run_store_command(
+    store: DocumentStore, arguments: argparse.Namespace
+) -> int:
     if arguments.store_command == "add":
         store.add_document(arguments.doc_id, tree_from_xml(arguments.file))
         print(f"added document {arguments.doc_id}")
@@ -417,6 +483,26 @@ def _command_store(arguments: argparse.Namespace) -> int:
             f"({stats.candidate_pairs}/{stats.total_pairs} pairs shared pq-grams)",
             file=sys.stderr,
         )
+    elif arguments.store_command == "soak":
+        from repro.service.soak import run_soak
+
+        report = run_soak(
+            store,
+            writers=arguments.threads,
+            readers=(
+                arguments.readers
+                if arguments.readers is not None
+                else arguments.threads
+            ),
+            duration=arguments.duration,
+            docs_per_writer=arguments.docs_per_writer,
+            ops_per_batch=arguments.ops_per_batch,
+            tree_size=arguments.tree_size,
+            tau=arguments.tau,
+            seed=arguments.seed,
+        )
+        print(report.summary())
+        return 0 if report.ok else 1
     return 0
 
 

@@ -1,0 +1,41 @@
+"""The concurrent serving layer: locks, snapshots, coalescing.
+
+The paper's maintenance identity — I_n = I_0 ∖ λ(Δ-) ⊎ λ(Δ+) without
+touching intermediate versions — keeps writes cheap; this package
+keeps them *concurrent*:
+
+- :class:`ReadWriteLock` — the writer-preferring structural lock every
+  forest owns (exclusive mutations + atomic publishes, shared mode for
+  internally-synchronized backends and view refreshes),
+- :class:`SnapshotHandle` — immutable per-generation read views, so
+  lookups never block on ``apply_edits``,
+- :class:`WriteCoalescer` — per-document FIFO write queues behind one
+  WAL appender thread with group fsync,
+- :class:`RefreezeWorker` — background CSR rebuilds swapped in
+  atomically under the exclusive lock.
+
+``docs/CONCURRENCY.md`` documents the locking order, the snapshot
+semantics, and exactly which operations are (and are not)
+linearizable.
+"""
+
+from repro.concurrency.coalesce import PendingBatch, WriteCoalescer
+from repro.concurrency.refreeze import RefreezeWorker
+from repro.concurrency.rwlock import ReadWriteLock
+from repro.concurrency.snapshot import (
+    DictSnapshot,
+    OverlaySnapshot,
+    ShardSnapshot,
+    SnapshotHandle,
+)
+
+__all__ = [
+    "ReadWriteLock",
+    "SnapshotHandle",
+    "DictSnapshot",
+    "OverlaySnapshot",
+    "ShardSnapshot",
+    "WriteCoalescer",
+    "PendingBatch",
+    "RefreezeWorker",
+]

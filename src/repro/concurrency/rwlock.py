@@ -1,0 +1,205 @@
+"""A writer-preferring read-write lock, reentrant for the writer.
+
+The serving layer's one structural lock (see ``docs/CONCURRENCY.md``):
+
+- *shared* mode (:meth:`ReadWriteLock.read`) — snapshot materialization
+  waits for it, and backends that synchronize their own writers
+  internally (the sharded backend's per-shard locks) run mutations
+  under it so disjoint-shard writes proceed in parallel;
+- *exclusive* mode (:meth:`ReadWriteLock.write`) — single-writer
+  mutations and the atomic publish steps (CSR swap, view refresh).
+
+Writer preference: once a writer is waiting, new readers queue behind
+it, so a steady stream of readers can never starve maintenance.  A
+thread that already holds shared mode keeps re-acquiring it even while
+writers wait (reentrancy would otherwise deadlock against the
+preference rule), and the exclusive holder may nest both modes freely
+(exclusive implies shared).  Upgrading — asking for exclusive mode
+while holding only shared mode — deadlocks by construction and raises
+instead.
+
+Observability is opt-in via :meth:`ReadWriteLock.bind_metrics`: wait
+and hold wall times land in ``lock_wait_seconds{mode=...}`` /
+``lock_hold_seconds{mode=...}`` histograms.  Unbound locks skip the
+clock reads entirely, so the uncontended single-threaded path pays two
+mutex operations and nothing else.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Optional
+
+from repro.obsv.metrics import MetricsRegistry
+
+
+class _ReadHold:
+    """Per-thread shared-mode bookkeeping (depth + acquire stamp)."""
+
+    __slots__ = ("depth", "started")
+
+    def __init__(self, started: float) -> None:
+        self.depth = 1
+        self.started = started
+
+
+class ReadWriteLock:
+    """Writer-preferring shared/exclusive lock (see module docstring)."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._can_read = threading.Condition(self._mutex)
+        self._can_write = threading.Condition(self._mutex)
+        self._readers: Dict[int, _ReadHold] = {}
+        self._writer: Optional[int] = None
+        self._write_depth = 0
+        self._write_started = 0.0
+        self._writers_waiting = 0
+        self._timed = False
+        self._m_wait = {"read": None, "write": None}
+        self._m_hold = {"read": None, "write": None}
+
+    def bind_metrics(self, registry: MetricsRegistry) -> None:
+        """Attach wait/hold histograms; a no-op registry disables timing."""
+        self._timed = registry.enabled
+        for mode in ("read", "write"):
+            self._m_wait[mode] = registry.histogram(
+                "lock_wait_seconds",
+                "wall seconds spent waiting to acquire the forest lock",
+                mode=mode,
+            )
+            self._m_hold[mode] = registry.histogram(
+                "lock_hold_seconds",
+                "wall seconds the forest lock was held per outermost acquire",
+                mode=mode,
+            )
+
+    # ------------------------------------------------------------------
+    # shared (read) mode
+    # ------------------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        ident = threading.get_ident()
+        started = time.perf_counter() if self._timed else 0.0
+        with self._mutex:
+            if self._writer == ident:
+                # Exclusive implies shared: nest on the write hold.
+                self._write_depth += 1
+                return
+            hold = self._readers.get(ident)
+            if hold is not None:
+                hold.depth += 1
+                return
+            while self._writer is not None or self._writers_waiting:
+                self._can_read.wait()
+            if self._timed:
+                now = time.perf_counter()
+                self._m_wait["read"].observe(now - started)
+                started = now
+            self._readers[ident] = _ReadHold(started)
+
+    def release_read(self) -> None:
+        ident = threading.get_ident()
+        with self._mutex:
+            if self._writer == ident:
+                self._write_depth -= 1
+                return
+            hold = self._readers.get(ident)
+            if hold is None:
+                raise RuntimeError("release_read without a matching acquire")
+            hold.depth -= 1
+            if hold.depth:
+                return
+            del self._readers[ident]
+            if self._timed:
+                self._m_hold["read"].observe(time.perf_counter() - hold.started)
+            if not self._readers and self._writers_waiting:
+                self._can_write.notify()
+
+    # ------------------------------------------------------------------
+    # exclusive (write) mode
+    # ------------------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        ident = threading.get_ident()
+        started = time.perf_counter() if self._timed else 0.0
+        with self._mutex:
+            if self._writer == ident:
+                self._write_depth += 1
+                return
+            if ident in self._readers:
+                raise RuntimeError(
+                    "cannot upgrade a shared hold to exclusive mode "
+                    "(lock-order inversion; release the read hold first)"
+                )
+            self._writers_waiting += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._can_write.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = ident
+            self._write_depth = 1
+            if self._timed:
+                now = time.perf_counter()
+                self._m_wait["write"].observe(now - started)
+                self._write_started = now
+
+    def release_write(self) -> None:
+        ident = threading.get_ident()
+        with self._mutex:
+            if self._writer != ident:
+                raise RuntimeError("release_write by a non-holding thread")
+            self._write_depth -= 1
+            if self._write_depth:
+                return
+            self._writer = None
+            if self._timed:
+                self._m_hold["write"].observe(
+                    time.perf_counter() - self._write_started
+                )
+            if self._writers_waiting:
+                self._can_write.notify()
+            else:
+                self._can_read.notify_all()
+
+    # ------------------------------------------------------------------
+    # context managers
+    # ------------------------------------------------------------------
+
+    def read(self) -> "_Scope":
+        """Context manager acquiring shared mode."""
+        return _Scope(self.acquire_read, self.release_read)
+
+    def write(self) -> "_Scope":
+        """Context manager acquiring exclusive mode."""
+        return _Scope(self.acquire_write, self.release_write)
+
+    # ------------------------------------------------------------------
+    # introspection (tests, assertions)
+    # ------------------------------------------------------------------
+
+    def held_exclusive(self) -> bool:
+        """Whether the calling thread holds exclusive mode."""
+        return self._writer == threading.get_ident()
+
+    def active_readers(self) -> int:
+        """Number of threads currently holding shared mode."""
+        with self._mutex:
+            return len(self._readers)
+
+
+class _Scope:
+    __slots__ = ("_acquire", "_release")
+
+    def __init__(self, acquire, release) -> None:
+        self._acquire = acquire
+        self._release = release
+
+    def __enter__(self) -> "_Scope":
+        self._acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._release()

@@ -11,7 +11,6 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.index import PQGramIndex
 from repro.hashing.labelhash import LabelHasher
-from repro.tree.node import NULL_LABEL
 
 Key = Tuple[int, ...]
 

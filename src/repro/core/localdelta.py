@@ -96,7 +96,9 @@ def delta_label_bag(
         node_id = operation.node_id
         parent = tree.parent(node_id)
         position = tree.sibling_position(node_id)
-        _add_window_grams(bag, tree, parent, position, position, config, hasher)  # type: ignore[arg-type]
+        _add_window_grams(  # type: ignore[arg-type]
+            bag, tree, parent, position, position, config, hasher
+        )
         for anchor in descendants_within(tree, node_id, config.p - 1):
             _add_anchor_grams(bag, tree, anchor, config, hasher)
     elif isinstance(operation, Insert):

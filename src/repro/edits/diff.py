@@ -32,7 +32,7 @@ document churn because unchanged subtrees are matched wholesale.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.edits.compound import delete_subtree_ops, insert_subtree_ops
 from repro.edits.ops import EditOperation, Rename

@@ -10,7 +10,7 @@ mimic the paper's workloads (e.g. updates concentrated in DBLP records).
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.edits.ops import Delete, EditOperation, Insert, Rename
 from repro.edits.script import EditScript

@@ -13,9 +13,12 @@ the τ-aware distance arithmetic over the backend's candidate sweep.
 from __future__ import annotations
 
 import os
+import threading
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.backend.base import Bag, ForestBackend, Key, make_backend
+from repro.concurrency.rwlock import ReadWriteLock
+from repro.concurrency.snapshot import SnapshotHandle
 from repro.core.config import GramConfig
 from repro.core.distance import distance_from_overlap, size_bound_admits
 from repro.core.index import PQGramIndex
@@ -52,6 +55,15 @@ class ForestIndex:
         self.metrics = resolve_registry(metrics)
         self._backend.bind_metrics(self.metrics)
         self._bind_instruments(self.metrics)
+        # Concurrency: one structural lock, a monotonically increasing
+        # write generation, and the published immutable read view of
+        # the latest materialized generation (docs/CONCURRENCY.md).
+        self.lock = ReadWriteLock()
+        self.lock.bind_metrics(self.metrics)
+        self._generation = 0
+        self._generation_mutex = threading.Lock()
+        self._published: Optional[SnapshotHandle] = None
+        self._view_refresh = threading.Lock()
 
     def _bind_instruments(self, registry: MetricsRegistry) -> None:
         self._m_lookups = registry.counter(
@@ -128,6 +140,67 @@ class ForestIndex:
         """The storage backend holding the index relation."""
         return self._backend
 
+    # ------------------------------------------------------------------
+    # concurrency: generations and published read views
+    # ------------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """The forest's write generation — bumped once per committed
+        mutation (add/update/remove), never by compaction, which only
+        rebuilds read-optimized views of the same logical relation."""
+        return self._generation
+
+    def _bump_generation(self) -> None:
+        with self._generation_mutex:
+            self._generation += 1
+
+    def _write_scope(self):
+        """The scope a mutation runs under: the shared lock when the
+        backend synchronizes concurrent writers itself (sharded), the
+        exclusive lock otherwise.  Either way the refreeze worker and
+        view refreshes (exclusive holders) are excluded."""
+        if self._backend.supports_concurrent_writes:
+            return self.lock.read()
+        return self.lock.write()
+
+    def read_view(self) -> SnapshotHandle:
+        """An immutable snapshot of the forest at (at least) a recent
+        generation, for lock-free reader threads.
+
+        Views are cached per generation: when the published view is
+        current it is returned without any locking.  When it is stale,
+        exactly one caller refreshes it (materialization takes the
+        exclusive lock); concurrent callers are served the previous
+        view immediately instead of queueing behind the refresh —
+        readers never block on writers.  The one exception is the very
+        first call, which must wait for a view to exist at all.
+        """
+        while True:
+            view = self._published
+            generation = self._generation
+            if view is not None and view.generation >= generation:
+                return view
+            if not self._view_refresh.acquire(blocking=view is None):
+                # A refresh is already in flight: serve the stale view.
+                return view  # type: ignore[return-value]
+            try:
+                view = self._published
+                if view is not None and view.generation >= self._generation:
+                    return view
+                with self.lock.write():
+                    generation = self._generation
+                    fresh = self._backend.freeze_view()
+                    fresh.generation = generation
+                self._published = fresh
+                return fresh
+            finally:
+                self._view_refresh.release()
+
+    def close(self) -> None:
+        """Release the backend's background resources; idempotent."""
+        self._backend.close()
+
     def sync_metric_gauges(self) -> None:
         """Refresh the snapshot-style gauges (forest shape, backend
         stats, label-hasher memo) in the bound registry.
@@ -170,7 +243,9 @@ class ForestIndex:
     def add_tree(self, tree_id: int, tree: Tree) -> None:
         """Index a new tree of the forest."""
         index = PQGramIndex.from_tree(tree, self.config, self.hasher)
-        self._backend.add_tree_bag(tree_id, dict(index.items()))
+        with self._write_scope():
+            self._backend.add_tree_bag(tree_id, dict(index.items()))
+            self._bump_generation()
 
     def add_trees(
         self, items: Iterable[Tuple[int, Tree]], jobs: Optional[int] = None
@@ -198,15 +273,19 @@ class ForestIndex:
 
             bags, memo = build_bags_parallel(items, self.config, jobs)
             self.hasher.absorb_memo(memo)
-            for tree_id, bag in bags:
-                self._backend.add_tree_bag(tree_id, bag)
+            with self._write_scope():
+                for tree_id, bag in bags:
+                    self._backend.add_tree_bag(tree_id, bag)
+                self._bump_generation()
         else:
             for tree_id, tree in items:
                 self.add_tree(tree_id, tree)
 
     def remove_tree(self, tree_id: int) -> None:
         """Drop a tree from the forest index."""
-        self._backend.remove_tree(tree_id)
+        with self._write_scope():
+            self._backend.remove_tree(tree_id)
+            self._bump_generation()
 
     def update_tree(
         self,
@@ -230,12 +309,20 @@ class ForestIndex:
         ``jobs`` δ worker processes) — bit-identical results either
         way.  ``compact`` overrides the engine's native log-compaction
         default (off for replay, on for batch).
+
+        Thread-safety: the delta is computed outside the structural
+        lock (so concurrent maintenance of *different* trees overlaps
+        on the CPU-heavy engine work) and applied under it.  Updates to
+        the *same* tree must be serialized by the caller — the document
+        store's per-document FIFO write queue does exactly that.
         """
         if engine not in ("replay", "batch"):
             raise ValueError(f"unknown maintenance engine {engine!r}")
         old_index = self.index_of(tree_id)
-        with self.metrics.span(f"maintain.{engine}"), \
-                self._m_maintain_seconds[engine].time():
+        with (
+            self.metrics.span(f"maintain.{engine}"),
+            self._m_maintain_seconds[engine].time(),
+        ):
             if engine == "batch":
                 from repro.core.batch import update_index_batch_timed
 
@@ -255,7 +342,9 @@ class ForestIndex:
                 _, minus, plus = update_index_replay_delta(
                     old_index, tree, log, self.hasher, compact=bool(compact)
                 )
-            self._backend.apply_tree_delta(tree_id, minus, plus)
+            with self._write_scope():
+                self._backend.apply_tree_delta(tree_id, minus, plus)
+                self._bump_generation()
         self._m_maintain_batches[engine].inc()
         self._m_maintain_ops.inc(len(log))
         self._m_maintain_delta_keys.inc(len(minus) + len(plus))
@@ -320,11 +409,20 @@ class ForestIndex:
         becomes a handful of vector operations per query pq-gram, and
         later mutations overlay the snapshot instead of discarding it.
         A no-op for the plain dict backend or without numpy.
+
+        Takes the exclusive lock (reentrantly, so the background
+        refreeze worker may already hold it): the CSR swap must not
+        interleave with mutations or view materialization.
         """
-        self._backend.compact()
+        with self.lock.write():
+            self._backend.compact()
 
     def distances(
-        self, query: PQGramIndex, tau: Optional[float] = None
+        self,
+        query: PQGramIndex,
+        tau: Optional[float] = None,
+        *,
+        reader: "Optional[ForestBackend | SnapshotHandle]" = None,
     ) -> Dict[int, float]:
         """pq-gram distances of the query index against the forest.
 
@@ -343,23 +441,31 @@ class ForestIndex:
         ``min(|I|,|I'|) > (1-τ)/2·(|I|+|I'|)`` discards hopeless
         candidates from the per-tree size metadata before any distance
         is materialized.  Both paths produce identical distances.
+
+        ``reader`` selects what the scan reads: the live backend (the
+        default — single-threaded behaviour, unchanged) or an immutable
+        :class:`~repro.concurrency.snapshot.SnapshotHandle` from
+        :meth:`read_view`, so serving threads scan a frozen generation
+        while writers mutate the live relation.
         """
+        if reader is None:
+            reader = self._backend
         query_size = query.size()
         self._m_lookups.inc()
         with self.metrics.span("lookup.distances"):
             if tau is None:
-                return self._distances_full(query, query_size)
+                return self._distances_full(query, query_size, reader)
             if tau > 1.0:
                 # Every tree qualifies at most at the no-overlap distance
                 # 1.0 < tau: nothing can be pruned.
-                full = self._distances_full(query, query_size)
+                full = self._distances_full(query, query_size, reader)
                 result = {
                     tree_id: distance
                     for tree_id, distance in full.items()
                     if distance < tau
                 }
             else:
-                result = self._distances_pruned(query, query_size, tau)
+                result = self._distances_pruned(query, query_size, tau, reader)
             self._m_matches.inc(len(result))
             return result
 
@@ -368,11 +474,14 @@ class ForestIndex:
         return self._backend.candidates(query.items())
 
     def _distances_full(
-        self, query: PQGramIndex, query_size: int
+        self,
+        query: PQGramIndex,
+        query_size: int,
+        reader: "ForestBackend | SnapshotHandle",
     ) -> Dict[int, float]:
-        intersections = self._backend.candidates(query.items())
+        intersections = reader.candidates(query.items())
         result: Dict[int, float] = {}
-        for tree_id, size in self._backend.iter_sizes():
+        for tree_id, size in reader.iter_sizes():
             result[tree_id] = distance_from_overlap(
                 intersections.get(tree_id, 0), query_size + size
             )
@@ -382,12 +491,16 @@ class ForestIndex:
         return result
 
     def _distances_pruned(
-        self, query: PQGramIndex, query_size: int, tau: float
+        self,
+        query: PQGramIndex,
+        query_size: int,
+        tau: float,
+        reader: "ForestBackend | SnapshotHandle",
     ) -> Dict[int, float]:
         result: Dict[int, float] = {}
         if tau <= 0.0:
             return result  # distance < tau ≤ 0 is impossible
-        backend = self._backend
+        backend = reader
         if query_size == 0:
             # Degenerate empty query: distance 0 to empty trees (never
             # in any posting list), 1 to everything else.
@@ -457,9 +570,8 @@ class ForestIndex:
         meta.insert({"key": "q", "value": str(self.config.q)})
         meta.insert({"key": "backend", "value": self._backend.name})
         if self._backend.name == "sharded":
-            meta.insert(
-                {"key": "shards", "value": str(len(self._backend.shards))}  # type: ignore[attr-defined]
-            )
+            shards = self._backend.shards  # type: ignore[attr-defined]
+            meta.insert({"key": "shards", "value": str(len(shards))})
         table = database.create_table(
             "forest", self._SCHEMA, primary_key=("treeId", "pqg")
         )

@@ -15,6 +15,7 @@ two modes, mirroring the two arms of the Fig. 13 (left) experiment:
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -54,6 +55,19 @@ class LookupService:
     the same document (polling dashboards, paginated clients) skip the
     index construction entirely — and, when numpy is available, keeps
     the forest's array-backed postings snapshot warm for the sweep.
+
+    ``snapshot_reads=True`` switches the service into serving mode:
+    every lookup scans an immutable per-generation
+    :class:`~repro.concurrency.snapshot.SnapshotHandle` from
+    :meth:`ForestIndex.read_view` instead of the live backend, so
+    reader threads never block on concurrent ``apply_edits`` (at worst
+    they serve the previous generation — the ``reader_generation_lag``
+    gauge records by how much).  The generation stamp also keys a small
+    result cache: repeated identical queries between two commits are
+    answered without re-scanning, and one committed batch invalidates
+    them all at once — per generation, not per call.  Serving mode
+    skips the per-lookup ``auto_compact`` poke; the document store's
+    background refreeze worker compacts instead.
     """
 
     def __init__(
@@ -61,6 +75,8 @@ class LookupService:
         forest: ForestIndex,
         query_cache_size: int = 64,
         auto_compact: bool = True,
+        snapshot_reads: bool = False,
+        result_cache_size: int = 128,
     ) -> None:
         self.forest = forest
         self._query_cache: "OrderedDict[Tuple[int, int, int], PQGramIndex]" = (
@@ -68,6 +84,15 @@ class LookupService:
         )
         self._query_cache_size = max(0, query_cache_size)
         self._auto_compact = auto_compact
+        self._snapshot_reads = snapshot_reads
+        # (fingerprint, p, q, tau, generation) → sorted matches; only
+        # consulted in serving mode, where the generation stamp makes
+        # the entries immutable facts.
+        self._result_cache: "OrderedDict[tuple, List[Tuple[int, float]]]" = (
+            OrderedDict()
+        )
+        self._result_cache_size = max(0, result_cache_size)
+        self._cache_mutex = threading.Lock()
         self.query_cache_hits = 0
         self.query_cache_misses = 0
         registry = forest.metrics
@@ -80,6 +105,19 @@ class LookupService:
         self._m_cache_misses = registry.counter(
             "query_cache_misses_total", "query pq-gram index LRU misses"
         )
+        self._m_result_hits = registry.counter(
+            "result_cache_hits_total",
+            "per-generation lookup result cache hits (serving mode)",
+        )
+        self._m_generation_lag = registry.gauge(
+            "reader_generation_lag",
+            "write generations the served read view trails the forest by",
+        )
+
+    @property
+    def snapshot_reads(self) -> bool:
+        """Whether lookups scan immutable read views (serving mode)."""
+        return self._snapshot_reads
 
     @property
     def metrics_registry(self) -> MetricsRegistry:
@@ -130,7 +168,11 @@ class LookupService:
         return cls(forest, **kwargs)  # type: ignore[arg-type]
 
     def query_index(self, query: Tree) -> PQGramIndex:
-        """The query's pq-gram index, via the per-fingerprint LRU."""
+        """The query's pq-gram index, via the per-fingerprint LRU.
+
+        The LRU is guarded by a mutex — serving mode runs this from
+        many reader threads, and an OrderedDict reorder is not atomic.
+        """
         if self._query_cache_size == 0:
             return PQGramIndex.from_tree(
                 query, self.forest.config, self.forest.hasher
@@ -140,20 +182,22 @@ class LookupService:
             self.forest.config.p,
             self.forest.config.q,
         )
-        cached = self._query_cache.get(key)
-        if cached is not None:
-            self._query_cache.move_to_end(key)
-            self.query_cache_hits += 1
-            self._m_cache_hits.inc()
-            return cached
-        self.query_cache_misses += 1
-        self._m_cache_misses.inc()
+        with self._cache_mutex:
+            cached = self._query_cache.get(key)
+            if cached is not None:
+                self._query_cache.move_to_end(key)
+                self.query_cache_hits += 1
+                self._m_cache_hits.inc()
+                return cached
+            self.query_cache_misses += 1
+            self._m_cache_misses.inc()
         index = PQGramIndex.from_tree(
             query, self.forest.config, self.forest.hasher
         )
-        self._query_cache[key] = index
-        if len(self._query_cache) > self._query_cache_size:
-            self._query_cache.popitem(last=False)
+        with self._cache_mutex:
+            self._query_cache[key] = index
+            if len(self._query_cache) > self._query_cache_size:
+                self._query_cache.popitem(last=False)
         return index
 
     def update_tree(
@@ -186,6 +230,58 @@ class LookupService:
         (posting totals, per-shard breakdown for sharded forests)."""
         return self.forest.backend.stats()
 
+    def close(self) -> None:
+        """Release the forest's background resources; idempotent."""
+        self.forest.close()
+
+    def _scan_matches(
+        self, query: Tree, tau: Optional[float]
+    ) -> Tuple[List[Tuple[int, float]], int]:
+        """One distance scan: ``(sorted matches, population scanned)``.
+
+        The shared body of :meth:`lookup` (``tau`` set) and
+        :meth:`nearest` (``tau`` None → all distances).  In serving
+        mode the scan runs against a pinned read view and the sorted
+        result is cached per ``(query, tau, generation)``.
+        """
+        query_index = self.query_index(query)
+        if not self._snapshot_reads:
+            if self._auto_compact:
+                self.forest.compact()
+            distances = self.forest.distances(query_index, tau=tau)
+            matches = sorted(
+                distances.items(), key=lambda pair: (pair[1], pair[0])
+            )
+            return matches, len(self.forest)
+        view = self.forest.read_view()
+        self._m_generation_lag.set(
+            max(0, self.forest.generation - view.generation)
+        )
+        key = None
+        if self._result_cache_size:
+            key = (
+                tree_fingerprint(query),
+                self.forest.config.p,
+                self.forest.config.q,
+                tau,
+                view.generation,
+            )
+            with self._cache_mutex:
+                hit = self._result_cache.get(key)
+                if hit is not None:
+                    self._result_cache.move_to_end(key)
+            if hit is not None:
+                self._m_result_hits.inc()
+                return list(hit), len(view)
+        distances = self.forest.distances(query_index, tau=tau, reader=view)
+        matches = sorted(distances.items(), key=lambda pair: (pair[1], pair[0]))
+        if key is not None:
+            with self._cache_mutex:
+                self._result_cache[key] = matches
+                while len(self._result_cache) > self._result_cache_size:
+                    self._result_cache.popitem(last=False)
+        return matches, len(view)
+
     def lookup(self, query: Tree, tau: float) -> LookupResult:
         """All forest trees within pq-gram distance ``tau`` of the
         query, using the precomputed index.
@@ -197,18 +293,14 @@ class LookupService:
         """
         started = time.perf_counter()
         with self.forest.metrics.span("lookup"):
-            query_index = self.query_index(query)
-            if self._auto_compact:
-                self.forest.compact()
-            distances = self.forest.distances(query_index, tau=tau)
-        matches = sorted(distances.items(), key=lambda pair: (pair[1], pair[0]))
+            matches, population = self._scan_matches(query, tau)
         elapsed = time.perf_counter() - started
         self._m_lookup_seconds.observe(elapsed)
         return LookupResult(
             matches=matches,
             seconds_total=elapsed,
-            trees_compared=len(self.forest),
-            extra={"pruned": float(len(self.forest) - len(matches))},
+            trees_compared=population,
+            extra={"pruned": float(population - len(matches))},
         )
 
     def nearest(self, query: Tree, k: int = 1) -> LookupResult:
@@ -221,17 +313,15 @@ class LookupService:
             raise ValueError("k must be positive")
         started = time.perf_counter()
         with self.forest.metrics.span("lookup.nearest"):
-            query_index = self.query_index(query)
-            if self._auto_compact:
-                self.forest.compact()
-            distances = self.forest.distances(query_index)
-        matches = sorted(distances.items(), key=lambda pair: (pair[1], pair[0]))[:k]
+            matches, _ = self._scan_matches(query, None)
+        population = len(matches)
+        matches = matches[:k]
         elapsed = time.perf_counter() - started
         self._m_lookup_seconds.observe(elapsed)
         return LookupResult(
             matches=matches,
             seconds_total=elapsed,
-            trees_compared=len(distances),
+            trees_compared=population,
         )
 
     def lookup_without_index(

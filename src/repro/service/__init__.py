@@ -13,6 +13,7 @@ service:
   from the snapshot + WAL on open.
 """
 
+from repro.service.soak import SoakReport, run_soak
 from repro.service.store import DocumentStore
 
-__all__ = ["DocumentStore"]
+__all__ = ["DocumentStore", "SoakReport", "run_soak"]

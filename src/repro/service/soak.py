@@ -1,0 +1,171 @@
+"""Concurrent soak workload: hammer a serving store, then verify.
+
+The soak is the serving layer's endurance test — N writer threads
+stream edit batches at their own documents while M reader threads run
+approximate lookups, for a wall-clock duration.  Writers own disjoint
+document slices (concurrent editors of the *same* document would
+trivially conflict on node ids, which the store correctly rejects but
+which would make every run mostly error noise), so every submitted
+batch is expected to commit; any error is a defect.  The CI soak job
+runs ``repro store soak --threads 8 --duration 60`` and then requires
+``repro store verify`` to exit 0 — every maintained index bit-equal to
+a from-scratch rebuild after a minute of concurrent traffic.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.edits.generator import EditScriptGenerator
+from repro.service.store import DocumentStore
+from repro.tree.tree import Tree
+
+_LABELS = ("a", "b", "c", "d", "e", "f", "g", "h")
+
+
+def random_tree(rng: random.Random, size: int) -> Tree:
+    """Uniform-attachment random tree (deterministic in the rng)."""
+    tree = Tree(rng.choice(_LABELS))
+    ids = [tree.root_id]
+    for _ in range(max(0, size - 1)):
+        parent = rng.choice(ids)
+        position = rng.randint(1, tree.fanout(parent) + 1)
+        ids.append(
+            tree.add_child(parent, rng.choice(_LABELS), position=position)
+        )
+    return tree
+
+
+@dataclass
+class SoakReport:
+    """Outcome of one soak run."""
+
+    writers: int
+    readers: int
+    duration_seconds: float
+    documents: int
+    batches_applied: int = 0
+    operations_applied: int = 0
+    lookups_served: int = 0
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def summary(self) -> str:
+        lines = [
+            f"soak: {self.writers} writer(s) x {self.readers} reader(s) "
+            f"over {self.documents} document(s) "
+            f"for {self.duration_seconds:.1f}s",
+            f"  edit batches applied: {self.batches_applied}",
+            f"  edit operations:      {self.operations_applied}",
+            f"  lookups served:       {self.lookups_served}",
+            f"  errors:               {len(self.errors)}",
+        ]
+        lines.extend(f"    {error}" for error in self.errors[:10])
+        return "\n".join(lines)
+
+
+def run_soak(
+    store: DocumentStore,
+    writers: int = 4,
+    readers: int = 4,
+    duration: float = 10.0,
+    docs_per_writer: int = 4,
+    ops_per_batch: int = 4,
+    tree_size: int = 40,
+    tau: float = 0.6,
+    seed: int = 0,
+) -> SoakReport:
+    """Run the concurrent soak workload against an open store.
+
+    Seeds ``writers * docs_per_writer`` fresh documents (ids after the
+    store's current maximum), then runs the writer/reader threads until
+    the deadline and flushes.  The store is left populated — callers
+    follow up with their own verification (``store verify``).
+    """
+    if writers < 1 or readers < 0:
+        raise ValueError("need at least one writer and no negative readers")
+    rng = random.Random(seed)
+    start_id = max(store.document_ids(), default=-1) + 1
+    documents = [
+        (start_id + offset, random_tree(rng, tree_size))
+        for offset in range(writers * docs_per_writer)
+    ]
+    store.add_documents(documents)
+    report = SoakReport(
+        writers=writers,
+        readers=readers,
+        duration_seconds=duration,
+        documents=len(documents),
+    )
+    counter_mutex = threading.Lock()
+    deadline = time.monotonic() + duration
+
+    def write_loop(worker: int) -> None:
+        worker_rng = random.Random(seed * 1_000_003 + 2 * worker)
+        generator = EditScriptGenerator(
+            rng=worker_rng, labels=list(_LABELS) + ["x", "y"]
+        )
+        own = [
+            document_id
+            for document_id, _ in documents[
+                worker * docs_per_writer : (worker + 1) * docs_per_writer
+            ]
+        ]
+        batches = operations = 0
+        while time.monotonic() < deadline:
+            document_id = worker_rng.choice(own)
+            tree = store.get_document(document_id)
+            script = generator.generate(
+                tree, worker_rng.randint(1, ops_per_batch)
+            )
+            try:
+                store.apply_edits(document_id, list(script))
+            except Exception as exc:  # noqa: BLE001 - reported, fails the soak
+                with counter_mutex:
+                    report.errors.append(f"writer {worker}: {exc!r}")
+                return
+            batches += 1
+            operations += len(script)
+        with counter_mutex:
+            report.batches_applied += batches
+            report.operations_applied += operations
+
+    def read_loop(worker: int) -> None:
+        worker_rng = random.Random(seed * 1_000_003 + 2 * worker + 1)
+        lookups = 0
+        while time.monotonic() < deadline:
+            query = random_tree(worker_rng, max(4, tree_size // 2))
+            try:
+                store.lookup(query, tau)
+            except Exception as exc:  # noqa: BLE001 - reported, fails the soak
+                with counter_mutex:
+                    report.errors.append(f"reader {worker}: {exc!r}")
+                return
+            lookups += 1
+            # Yield between lookups: a free-spinning reader convoys the
+            # GIL and starves the writer threads out of the soak window.
+            time.sleep(0.001)
+        with counter_mutex:
+            report.lookups_served += lookups
+
+    threads = [
+        threading.Thread(target=write_loop, args=(index,), name=f"soak-w{index}")
+        for index in range(writers)
+    ]
+    threads.extend(
+        threading.Thread(target=read_loop, args=(index,), name=f"soak-r{index}")
+        for index in range(readers)
+    )
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    store.flush()
+    return report

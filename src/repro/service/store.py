@@ -34,15 +34,17 @@ recorded in the snapshot so reopening preserves it.
 from __future__ import annotations
 
 import os
+import threading
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.concurrency.coalesce import PendingBatch, WriteCoalescer
+from repro.concurrency.refreeze import RefreezeWorker
 from repro.core.config import GramConfig
 from repro.core.index import PQGramIndex
 from repro.edits.ops import EditOperation
 from repro.edits.script import EditScript
 from repro.edits.serialize import format_operations, parse_operations
 from repro.errors import StorageError
-from repro.hashing.labelhash import LabelHasher
 from repro.lookup.forest import ForestIndex
 from repro.lookup.service import LookupResult, LookupService
 from repro.obsv.metrics import MetricsRegistry, resolve_registry
@@ -56,7 +58,18 @@ _WAL = "wal.log"
 
 
 class DocumentStore:
-    """A collection of documents with durable pq-gram indexes."""
+    """A collection of documents with durable pq-gram indexes.
+
+    ``serve_threads > 0`` opens the store in *serving mode* for
+    concurrent clients: ``apply_edits`` calls from any thread enqueue
+    on a per-document FIFO write queue behind one appender thread
+    (group commit — one WAL append and one fsync per drained group,
+    one batched maintenance call per document), lookups run against
+    immutable per-generation snapshots and never block on writers, and
+    a background worker re-freezes the compact backend's CSR off the
+    serving threads.  With the default ``serve_threads=0`` the store
+    behaves exactly as before — single-threaded, synchronous.
+    """
 
     def __init__(
         self,
@@ -68,6 +81,7 @@ class DocumentStore:
         backend: str = "compact",
         shards: Optional[int] = None,
         metrics: "Optional[MetricsRegistry | bool]" = None,
+        serve_threads: int = 0,
     ) -> None:
         if engine not in ("replay", "batch"):
             raise StorageError(f"unknown maintenance engine {engine!r}")
@@ -75,7 +89,12 @@ class DocumentStore:
         self._checkpoint_every = checkpoint_every
         self._engine = engine
         self._jobs = jobs
+        self._serving = serve_threads > 0
         self._documents: Dict[int, Tree] = {}
+        # Guards document membership, the WAL, and the checkpoint
+        # counter.  In serving mode the appender thread holds it for
+        # the whole group commit; lookups never touch it.
+        self._mutex = threading.RLock()
         # ``metrics`` (a registry or ``True``) turns on observability
         # for the whole stack — store, forest, backend, lookup service
         # all report into one registry.  Must be chosen at open time so
@@ -95,11 +114,23 @@ class DocumentStore:
         self._batches_since_checkpoint = 0
         os.makedirs(directory, exist_ok=True)
         if os.path.exists(self._snapshot_path()):
-            with self._m_recovery_seconds.time(), \
-                    self._metrics.span("store.recover"):
+            with (
+                self._m_recovery_seconds.time(),
+                self._metrics.span("store.recover"),
+            ):
                 self._recover(default_backend=backend, default_shards=shards)
         else:
             self._checkpoint()
+        # Serving machinery starts only after recovery is complete, so
+        # the appender and refreeze threads never see a half-recovered
+        # store.
+        self._coalescer: Optional[WriteCoalescer] = None
+        self._refreezer: Optional[RefreezeWorker] = None
+        self._closed = False
+        if self._serving:
+            self._service = LookupService(self._forest, snapshot_reads=True)
+            self._coalescer = WriteCoalescer(self._apply_group, self._metrics)
+            self._refreezer = RefreezeWorker(self._forest)
 
     def _bind_instruments(self, registry: MetricsRegistry) -> None:
         self._m_wal_appends = registry.counter(
@@ -192,11 +223,13 @@ class DocumentStore:
 
     def add_document(self, document_id: int, tree: Tree) -> None:
         """Store and index a new document (checkpointed immediately)."""
-        if document_id in self._documents:
-            raise StorageError(f"document id {document_id} already exists")
-        self._documents[document_id] = tree.copy()
-        self._forest.add_tree(document_id, tree)
-        self._checkpoint()
+        self.flush()
+        with self._mutex:
+            if document_id in self._documents:
+                raise StorageError(f"document id {document_id} already exists")
+            self._documents[document_id] = tree.copy()
+            self._forest.add_tree(document_id, tree)
+            self._checkpoint()
 
     def add_documents(
         self, items: Sequence[Tuple[int, Tree]], jobs: Optional[int] = None
@@ -207,23 +240,29 @@ class DocumentStore:
         processes (``repro.perf.parallel``); the batch is validated
         up front, so either every document is added or none is.
         """
-        seen = set()
-        for document_id, _ in items:
-            if document_id in self._documents or document_id in seen:
-                raise StorageError(f"document id {document_id} already exists")
-            seen.add(document_id)
-        copies = [(document_id, tree.copy()) for document_id, tree in items]
-        self._forest.add_trees(copies, jobs=jobs)
-        for document_id, tree in copies:
-            self._documents[document_id] = tree
-        self._checkpoint()
+        self.flush()
+        with self._mutex:
+            seen = set()
+            for document_id, _ in items:
+                if document_id in self._documents or document_id in seen:
+                    raise StorageError(
+                        f"document id {document_id} already exists"
+                    )
+                seen.add(document_id)
+            copies = [(document_id, tree.copy()) for document_id, tree in items]
+            self._forest.add_trees(copies, jobs=jobs)
+            for document_id, tree in copies:
+                self._documents[document_id] = tree
+            self._checkpoint()
 
     def remove_document(self, document_id: int) -> None:
         """Drop a document and its index (checkpointed immediately)."""
-        self._require(document_id)
-        del self._documents[document_id]
-        self._forest.remove_tree(document_id)
-        self._checkpoint()
+        self.flush()
+        with self._mutex:
+            self._require(document_id)
+            del self._documents[document_id]
+            self._forest.remove_tree(document_id)
+            self._checkpoint()
 
     def apply_edits(
         self,
@@ -241,8 +280,17 @@ class DocumentStore:
         ``engine`` (``"replay"`` or ``"batch"``), ``jobs`` and
         ``compact`` override the store-wide maintenance defaults for
         this batch only; the resulting index is bit-identical for
-        every engine, so the WAL never records the choice.
+        every engine, so the WAL never records the choice.  In serving
+        mode the overrides are ignored: the appender thread coalesces
+        concurrent batches and always maintains through the batch
+        engine (results are engine-independent, so this is invisible).
         """
+        if self._coalescer is not None:
+            # Serving mode: enqueue and wait for the group commit; the
+            # appender thread validates, logs, and maintains.  Raises
+            # this batch's own error, like the direct path would.
+            self._coalescer.submit(document_id, operations)
+            return
         document = self._require(document_id)
         # Validate against a copy first: either the whole batch applies
         # or nothing is logged.
@@ -269,15 +317,108 @@ class DocumentStore:
         if self._batches_since_checkpoint >= self._checkpoint_every:
             self._checkpoint()
 
+    def _apply_group(self, group: "List[PendingBatch]") -> None:
+        """Group-commit one drained queue (appender thread only).
+
+        Batches validate in submission order against shadow copies —
+        each document's shadow accumulates the batches before it, so a
+        failing batch fails alone and later batches see the state
+        without it, exactly as under serial execution.  All valid
+        batches then reach the WAL in one append with one fsync, the
+        shadows are published, and each document gets a single batched
+        maintenance call over its concatenated inverse log.
+        """
+        with self._mutex, self._metrics.span("store.apply_group"):
+            shadows: Dict[int, Tree] = {}
+            logs: Dict[int, List[EditOperation]] = {}
+            valid: List[PendingBatch] = []
+            for pending in group:
+                document_id = pending.document_id
+                try:
+                    shadow = shadows.get(document_id)
+                    if shadow is None:
+                        shadow = self._require(document_id).copy()
+                    probe = shadow.copy()
+                    log = EditScript(list(pending.operations)).apply(probe)
+                except BaseException as exc:  # noqa: BLE001 - per-batch isolation
+                    pending.error = exc
+                    continue
+                shadows[document_id] = probe
+                # Sequential logs concatenate in application order; the
+                # maintenance engines replay them back-to-front.
+                logs.setdefault(document_id, []).extend(log)
+                valid.append(pending)
+            if not valid:
+                return
+            self._append_wal_group(
+                [(pending.document_id, pending.operations) for pending in valid]
+            )
+            for document_id, shadow in shadows.items():
+                if document_id not in logs:
+                    continue  # every batch for this document failed
+                self._documents[document_id] = shadow
+                self._forest.update_tree(
+                    document_id,
+                    shadow,
+                    logs[document_id],
+                    engine="batch",
+                    jobs=self._jobs,
+                )
+            for pending in valid:
+                self._m_edit_batches.inc()
+                self._m_edit_ops.inc(len(pending.operations))
+            self._batches_since_checkpoint += len(valid)
+            if self._batches_since_checkpoint >= self._checkpoint_every:
+                self._checkpoint()
+        if self._refreezer is not None:
+            self._refreezer.notify()
+
     def lookup(self, query: Tree, tau: float) -> LookupResult:
-        """Approximate lookup over all stored documents."""
+        """Approximate lookup over all stored documents.
+
+        In serving mode the scan runs against an immutable snapshot of
+        a recent generation and never blocks on concurrent writers.
+        """
         if self._service is None:
-            self._service = LookupService(self._forest)
+            self._service = LookupService(
+                self._forest, snapshot_reads=self._serving
+            )
         return self._service.lookup(query, tau)
 
     def checkpoint(self) -> None:
         """Force a snapshot + WAL truncation."""
-        self._checkpoint()
+        self.flush()
+        with self._mutex:
+            self._checkpoint()
+
+    def flush(self) -> None:
+        """Wait for every submitted edit batch to be durably applied.
+
+        A no-op outside serving mode (writes are synchronous there).
+        """
+        if self._coalescer is not None:
+            self._coalescer.flush()
+
+    def close(self) -> None:
+        """Drain the write queue, stop the background threads, and
+        checkpoint; idempotent.  The store object must not be used
+        afterwards."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._coalescer is not None:
+            self._coalescer.close()
+        if self._refreezer is not None:
+            self._refreezer.close()
+        with self._mutex:
+            self._checkpoint()
+        self._forest.close()
+
+    def __enter__(self) -> "DocumentStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     @property
     def metrics_registry(self) -> MetricsRegistry:
@@ -329,6 +470,7 @@ class DocumentStore:
             "nodes": node_count,
             "pq_grams": gram_count,
             "engine": self._engine,
+            "serving": self._serving,
             "backend": backend_stats["backend"],
             "postings": backend_stats["postings"],
             "hasher_labels": hasher_stats["labels"],
@@ -356,21 +498,39 @@ class DocumentStore:
     # WAL
     # ------------------------------------------------------------------
 
-    def _append_wal(
-        self, document_id: int, operations: Sequence[EditOperation]
-    ) -> None:
-        block = (
+    @staticmethod
+    def _wal_block(
+        document_id: int, operations: Sequence[EditOperation]
+    ) -> str:
+        return (
             f"BEGIN {document_id} {len(operations)}\n"
             + format_operations(operations)
             + ("\n" if operations else "")
             + "COMMIT\n"
         )
+
+    def _append_wal(
+        self, document_id: int, operations: Sequence[EditOperation]
+    ) -> None:
+        self._append_wal_group([(document_id, operations)])
+
+    def _append_wal_group(
+        self, batches: Sequence[Tuple[int, Sequence[EditOperation]]]
+    ) -> None:
+        """Append each batch as its own BEGIN/COMMIT block, all in one
+        write with one fsync (group commit).  ``wal_appends_total``
+        counts blocks, not writes — it stays equal to
+        ``store_edit_batches_total`` whatever the grouping."""
+        text = "".join(
+            self._wal_block(document_id, operations)
+            for document_id, operations in batches
+        )
         with open(self._wal_path(), "a", encoding="utf-8") as handle:
-            handle.write(block)
+            handle.write(text)
             handle.flush()
             os.fsync(handle.fileno())
-        self._m_wal_appends.inc()
-        self._m_wal_bytes.inc(len(block.encode("utf-8")))
+        self._m_wal_appends.inc(len(batches))
+        self._m_wal_bytes.inc(len(text.encode("utf-8")))
         self._m_wal_fsyncs.inc()
 
     def _read_wal(self) -> List[Tuple[int, List[EditOperation]]]:
@@ -431,8 +591,10 @@ class DocumentStore:
     _META_SCHEMA = Schema([Column("key", str), Column("value", str)])
 
     def _checkpoint(self) -> None:
-        with self._m_checkpoint_seconds.time(), \
-                self._metrics.span("store.checkpoint"):
+        with (
+            self._m_checkpoint_seconds.time(),
+            self._metrics.span("store.checkpoint"),
+        ):
             self._write_checkpoint()
         self._m_checkpoints.inc()
         self._m_wal_fsyncs.inc()  # the truncation fsync below
@@ -466,8 +628,12 @@ class DocumentStore:
             "indexes", self._IDX_SCHEMA, ("treeId", "pqg")
         )
         # The index relation is exactly the backend's snapshot — one
-        # write path, serialized verbatim.
-        for document_id, bag in self._forest.backend.snapshot().items():
+        # write path, serialized verbatim.  The shared scope keeps a
+        # concurrent background refreeze (an exclusive holder) from
+        # overlapping the read.
+        with self._forest.lock.read():
+            relation = self._forest.backend.snapshot()
+        for document_id, bag in relation.items():
             for key, count in bag.items():
                 indexes.insert({"treeId": document_id, "pqg": key, "cnt": count})
         database.save(self._snapshot_path())

@@ -171,6 +171,47 @@ class TestStoreCommands:
         assert "backend consistency\tFAILED: planted drift" in output
         assert "0 mismatch(es)" in output
 
+    def test_soak_then_verify(self, tmp_path, capsys):
+        """The CI gate in miniature: a short concurrent soak must finish
+        with zero errors and leave a store that verifies bit-identical
+        against a from-scratch rebuild."""
+        store_dir = str(tmp_path / "store")
+        assert (
+            main(
+                [
+                    "store", "--dir", store_dir, "soak",
+                    "--threads", "2", "--readers", "2",
+                    "--duration", "1.0", "--docs-per-writer", "2",
+                    "--tree-size", "15", "--seed", "5",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "soak: 2 writer(s) x 2 reader(s)" in output
+        assert "errors:               0" in output
+        assert main(["store", "--dir", store_dir, "verify"]) == 0
+        assert "0 mismatch" in capsys.readouterr().out
+
+    def test_serve_threads_edit_path(self, xml_files, tmp_path, capsys):
+        """--serve-threads routes edits through the coalescer without
+        changing any observable CLI behavior."""
+        old_path, new_path = xml_files
+        store_dir = str(tmp_path / "store")
+        base = ["store", "--dir", store_dir, "--serve-threads", "2"]
+        assert main([*base, "add", "1", old_path]) == 0
+        capsys.readouterr()
+        assert main(["diff", old_path, new_path]) == 0
+        log_path = str(tmp_path / "edits.log")
+        with open(log_path, "w") as handle:
+            handle.write(capsys.readouterr().out)
+        assert main([*base, "edit", "1", log_path]) == 0
+        capsys.readouterr()
+        assert main([*base, "lookup", new_path]) == 0
+        output = capsys.readouterr().out
+        assert "doc 1" in output and "0.0000" in output
+        assert main(["store", "--dir", store_dir, "verify"]) == 0
+
     def test_duplicates_finds_planted_pair(self, xml_files, tmp_path, capsys):
         old_path, new_path = xml_files
         store_dir = str(tmp_path / "store")

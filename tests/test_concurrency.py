@@ -1,0 +1,400 @@
+"""Unit tests for the concurrency package: lock, snapshots, coalescer,
+refreeze worker, and the forest's generation/view plumbing."""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.backend.compact import CompactBackend
+from repro.backend.memory import MemoryBackend
+from repro.backend.sharded import ShardedBackend
+from repro.concurrency.coalesce import WriteCoalescer
+from repro.concurrency.refreeze import RefreezeWorker
+from repro.concurrency.rwlock import ReadWriteLock
+from repro.core.config import GramConfig
+from repro.core.index import PQGramIndex
+from repro.edits.generator import EditScriptGenerator
+from repro.edits.script import apply_script
+from repro.lookup.forest import ForestIndex
+from repro.perf.arraybag import HAVE_NUMPY
+
+from tests.conftest import build_random_tree
+
+BACKENDS = [
+    ("memory", MemoryBackend),
+    ("compact", CompactBackend),
+    ("sharded", lambda: ShardedBackend(3)),
+]
+
+
+# ----------------------------------------------------------------------
+# ReadWriteLock
+# ----------------------------------------------------------------------
+
+
+def test_rwlock_write_reentrant():
+    lock = ReadWriteLock()
+    with lock.write():
+        with lock.write():
+            assert lock.held_exclusive()
+        assert lock.held_exclusive()
+    assert not lock.held_exclusive()
+
+
+def test_rwlock_read_nests_inside_write():
+    lock = ReadWriteLock()
+    with lock.write():
+        with lock.read():
+            assert lock.held_exclusive()
+        assert lock.held_exclusive()
+
+
+def test_rwlock_read_reentrant():
+    lock = ReadWriteLock()
+    with lock.read():
+        with lock.read():
+            assert lock.active_readers() == 1
+        assert lock.active_readers() == 1
+    assert lock.active_readers() == 0
+
+
+def test_rwlock_upgrade_raises():
+    lock = ReadWriteLock()
+    with lock.read():
+        with pytest.raises(RuntimeError):
+            lock.acquire_write()
+
+
+def test_rwlock_release_without_acquire_raises():
+    lock = ReadWriteLock()
+    with pytest.raises(RuntimeError):
+        lock.release_read()
+    with pytest.raises(RuntimeError):
+        lock.release_write()
+
+
+def test_rwlock_concurrent_readers_overlap():
+    lock = ReadWriteLock()
+    inside = threading.Barrier(3, timeout=5)
+
+    def reader():
+        with lock.read():
+            inside.wait()  # all three must be inside simultaneously
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=5)
+    assert not any(thread.is_alive() for thread in threads)
+
+
+def test_rwlock_writer_excludes_readers():
+    lock = ReadWriteLock()
+    order = []
+    writer_in = threading.Event()
+    release_writer = threading.Event()
+
+    def writer():
+        with lock.write():
+            writer_in.set()
+            release_writer.wait(timeout=5)
+            order.append("writer-done")
+
+    def reader():
+        writer_in.wait(timeout=5)
+        with lock.read():
+            order.append("reader")
+
+    writer_thread = threading.Thread(target=writer)
+    reader_thread = threading.Thread(target=reader)
+    writer_thread.start()
+    writer_in.wait(timeout=5)
+    reader_thread.start()
+    time.sleep(0.05)  # give the reader a chance to (wrongly) slip in
+    release_writer.set()
+    writer_thread.join(timeout=5)
+    reader_thread.join(timeout=5)
+    assert order == ["writer-done", "reader"]
+
+
+def test_rwlock_writer_preference_blocks_new_readers():
+    lock = ReadWriteLock()
+    first_reader_in = threading.Event()
+    release_first_reader = threading.Event()
+    writer_done = threading.Event()
+    second_reader_done = threading.Event()
+
+    def first_reader():
+        with lock.read():
+            first_reader_in.set()
+            release_first_reader.wait(timeout=5)
+
+    def writer():
+        with lock.write():
+            writer_done.set()
+
+    def second_reader():
+        with lock.read():
+            second_reader_done.set()
+
+    threading.Thread(target=first_reader).start()
+    first_reader_in.wait(timeout=5)
+    writer_thread = threading.Thread(target=writer)
+    writer_thread.start()
+    # Wait until the writer is queued, then start a new reader: it must
+    # queue behind the waiting writer, not join the active reader.
+    deadline = time.monotonic() + 5
+    while lock._writers_waiting == 0 and time.monotonic() < deadline:
+        time.sleep(0.001)
+    reader_thread = threading.Thread(target=second_reader)
+    reader_thread.start()
+    time.sleep(0.05)
+    assert not writer_done.is_set()
+    assert not second_reader_done.is_set()
+    release_first_reader.set()
+    writer_thread.join(timeout=5)
+    reader_thread.join(timeout=5)
+    assert writer_done.is_set() and second_reader_done.is_set()
+
+
+def test_rwlock_metrics_histograms():
+    from repro.obsv.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    lock = ReadWriteLock()
+    lock.bind_metrics(registry)
+    with lock.write():
+        pass
+    with lock.read():
+        pass
+    snapshot = registry.snapshot()
+    assert snapshot["histograms"]['lock_hold_seconds{mode="write"}']["count"] == 1
+    assert snapshot["histograms"]['lock_hold_seconds{mode="read"}']["count"] == 1
+    assert snapshot["histograms"]['lock_wait_seconds{mode="write"}']["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# Snapshot handles
+# ----------------------------------------------------------------------
+
+
+def _populated_forest(factory, trees=8, seed=13):
+    forest = ForestIndex(GramConfig(2, 2), backend=factory())
+    built = {}
+    for tree_id in range(trees):
+        tree = build_random_tree(12 + tree_id, seed + tree_id)
+        forest.add_tree(tree_id, tree)
+        built[tree_id] = tree
+    return forest, built
+
+
+@pytest.mark.parametrize("name,factory", BACKENDS, ids=[n for n, _ in BACKENDS])
+def test_freeze_view_matches_backend(name, factory):
+    forest, built = _populated_forest(factory)
+    forest.compact()
+    view = forest.read_view()
+    query = PQGramIndex.from_tree(
+        build_random_tree(15, 99), forest.config, forest.hasher
+    )
+    assert view.candidates(query.items()) == forest.backend.candidates(
+        query.items()
+    )
+    assert dict(view.iter_sizes()) == dict(forest.backend.iter_sizes())
+    assert len(view) == len(forest.backend)
+    for tree_id in built:
+        assert tree_id in view
+        assert view.tree_size(tree_id) == forest.backend.tree_size(tree_id)
+
+
+@pytest.mark.parametrize("name,factory", BACKENDS, ids=[n for n, _ in BACKENDS])
+def test_freeze_view_pins_generation(name, factory):
+    """A handle keeps answering from its generation after mutations."""
+    forest, built = _populated_forest(factory)
+    forest.compact()
+    view = forest.read_view()
+    query = PQGramIndex.from_tree(
+        build_random_tree(15, 99), forest.config, forest.hasher
+    )
+    before = view.candidates(query.items())
+    sizes_before = dict(view.iter_sizes())
+    # Mutate heavily: edit every tree, remove one, add one.
+    rng = random.Random(7)
+    generator = EditScriptGenerator(rng=rng)
+    for tree_id, tree in list(built.items()):
+        edited, log = apply_script(tree, generator.generate(tree, 6))
+        forest.update_tree(tree_id, edited, log)
+    forest.remove_tree(0)
+    forest.add_tree(100, build_random_tree(20, 123))
+    forest.compact()
+    assert view.candidates(query.items()) == before
+    assert dict(view.iter_sizes()) == sizes_before
+
+
+@pytest.mark.parametrize("name,factory", BACKENDS, ids=[n for n, _ in BACKENDS])
+def test_freeze_view_admit_filter(name, factory):
+    forest, _ = _populated_forest(factory)
+    forest.compact()
+    view = forest.read_view()
+    query = PQGramIndex.from_tree(
+        build_random_tree(15, 99), forest.config, forest.hasher
+    )
+    admit = lambda tree_id: tree_id % 2 == 0  # noqa: E731 - tiny test predicate
+    filtered = view.candidates(query.items(), admit)
+    unfiltered = view.candidates(query.items())
+    assert filtered == {
+        tree_id: shared
+        for tree_id, shared in unfiltered.items()
+        if tree_id % 2 == 0
+    }
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="frozen CSR needs numpy")
+def test_overlay_snapshot_masks_emptied_dirty_keys():
+    """A dirty key whose postings emptied must not fall back to the
+    stale frozen entry."""
+    backend = CompactBackend()
+    backend.add_tree_bag(1, {(1, 2): 3})
+    backend.add_tree_bag(2, {(9, 9): 1})
+    backend.compact()
+    # Remove tree 1: key (1,2) empties out but stays in the frozen CSR.
+    backend.remove_tree(1)
+    view = backend.freeze_view()
+    assert view.candidates([((1, 2), 3)]) == {}
+
+
+def test_distances_via_read_view_match_live():
+    forest, _ = _populated_forest(lambda: CompactBackend())
+    forest.compact()
+    query = PQGramIndex.from_tree(
+        build_random_tree(14, 55), forest.config, forest.hasher
+    )
+    view = forest.read_view()
+    for tau in (None, 0.4, 0.8, 1.5):
+        assert forest.distances(query, tau=tau, reader=view) == forest.distances(
+            query, tau=tau
+        )
+
+
+def test_read_view_cached_per_generation():
+    forest, built = _populated_forest(lambda: MemoryBackend())
+    first = forest.read_view()
+    assert forest.read_view() is first  # no writes: same handle
+    generation = forest.generation
+    tree = build_random_tree(10, 5)
+    forest.add_tree(500, tree)
+    assert forest.generation == generation + 1
+    second = forest.read_view()
+    assert second is not first
+    assert second.generation > first.generation
+    assert 500 in second and 500 not in first
+
+
+# ----------------------------------------------------------------------
+# WriteCoalescer
+# ----------------------------------------------------------------------
+
+
+def test_coalescer_groups_concurrent_submissions():
+    groups = []
+    release = threading.Event()
+
+    def apply_group(group):
+        if not groups:
+            release.wait(timeout=5)  # hold the first group open
+        groups.append([pending.document_id for pending in group])
+
+    coalescer = WriteCoalescer(apply_group)
+    threads = [
+        threading.Thread(target=lambda i=i: coalescer.submit(i, []))
+        for i in range(6)
+    ]
+    threads[0].start()
+    time.sleep(0.05)  # let the appender pick up the first batch
+    for thread in threads[1:]:
+        thread.start()
+    time.sleep(0.05)  # the rest accumulate behind the held group
+    release.set()
+    for thread in threads:
+        thread.join(timeout=5)
+    coalescer.close()
+    submitted = sorted(sum(groups, []))
+    assert submitted == list(range(6))
+    assert len(groups) < 6  # at least some batches shared a group
+
+
+def test_coalescer_failure_isolation():
+    def apply_group(group):
+        for pending in group:
+            if pending.document_id == 13:
+                pending.error = ValueError("bad batch")
+
+    coalescer = WriteCoalescer(apply_group)
+    coalescer.submit(1, [])
+    with pytest.raises(ValueError):
+        coalescer.submit(13, [])
+    coalescer.submit(2, [])  # later batches unaffected
+    coalescer.close()
+
+
+def test_coalescer_group_exception_fans_to_all():
+    def apply_group(group):
+        raise RuntimeError("appender exploded")
+
+    coalescer = WriteCoalescer(apply_group)
+    results = []
+
+    def submit(i):
+        try:
+            coalescer.submit(i, [])
+        except RuntimeError as exc:
+            results.append(str(exc))
+
+    threads = [threading.Thread(target=submit, args=(i,)) for i in range(3)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=5)
+    coalescer.close()
+    assert results == ["appender exploded"] * 3
+
+
+def test_coalescer_submit_after_close_raises():
+    coalescer = WriteCoalescer(lambda group: None)
+    coalescer.close()
+    with pytest.raises(RuntimeError):
+        coalescer.submit(1, [])
+
+
+# ----------------------------------------------------------------------
+# RefreezeWorker
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="refreeze needs the CSR path")
+def test_refreeze_worker_compacts_stale_backend():
+    forest, built = _populated_forest(lambda: CompactBackend(), trees=4)
+    forest.compact()
+    backend = forest.backend
+    # Dirty enough keys to cross the refreeze threshold.
+    rng = random.Random(3)
+    generator = EditScriptGenerator(rng=rng)
+    trees = dict(built)
+    while not backend.needs_compaction():
+        for tree_id in list(trees):
+            tree = trees[tree_id]
+            edited, log = apply_script(tree, generator.generate(tree, 8))
+            forest.update_tree(tree_id, edited, log)
+            trees[tree_id] = edited
+    worker = RefreezeWorker(forest)
+    worker.notify()
+    deadline = time.monotonic() + 5
+    while backend.needs_compaction() and time.monotonic() < deadline:
+        time.sleep(0.01)
+    worker.close()
+    assert not backend.needs_compaction()
+    backend.check_consistency()

@@ -5,6 +5,8 @@ computed from full profiles on tree copies.  The table-backed delta of
 Algorithm 2 must produce exactly the same pq-grams.
 """
 
+import random
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -18,7 +20,6 @@ from repro.hashing import LabelHasher
 from repro.tree import tree_from_brackets
 
 from tests.conftest import gram_configs, trees
-import random
 
 
 def oracle_delta_bag(tree, operation, config, hasher):

@@ -4,11 +4,11 @@ import pytest
 from hypothesis import given, settings
 
 from repro.core import GramConfig, index_distance, index_of_tree, pq_gram_distance
+from repro.edits.script import apply_script
 from repro.errors import GramConfigError
 from repro.tree import tree_from_brackets
 
 from tests.conftest import gram_configs, trees, trees_with_scripts
-from repro.edits.script import apply_script
 
 
 class TestBasicProperties:

@@ -7,7 +7,6 @@ direction quantities grow, at sizes small enough for the unit suite.
 
 import time
 
-import pytest
 
 from repro.baselines import rebuild_index
 from repro.core import GramConfig, PQGramIndex, update_index_replay

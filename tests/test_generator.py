@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.edits import Delete, EditScriptGenerator, Insert, Rename
+from repro.edits import EditScriptGenerator, Insert, Rename
 from repro.tree import Tree, tree_from_brackets, validate_tree
 
 from tests.conftest import trees

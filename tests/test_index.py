@@ -5,9 +5,7 @@ from hypothesis import given, settings
 
 from repro.core import GramConfig, PQGramIndex, compute_profile, index_of_tree
 from repro.errors import IndexConsistencyError
-from repro.hashing import LabelHasher
 from repro.relstore import Table
-from repro.tree import tree_from_brackets
 
 from tests.conftest import gram_configs, trees
 

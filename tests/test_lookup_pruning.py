@@ -8,7 +8,6 @@ random forests and random thresholds.
 
 import random
 
-import pytest
 
 from repro.core import GramConfig, PQGramIndex
 from repro.datasets import (

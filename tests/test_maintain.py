@@ -17,7 +17,6 @@ from repro.core import (
 )
 from repro.edits import Delete, Insert, Rename, apply_script
 from repro.errors import InvalidLogError
-from repro.hashing import LabelHasher
 from repro.tree import Tree, tree_from_brackets
 
 

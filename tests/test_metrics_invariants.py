@@ -13,20 +13,20 @@ Three families, per ISSUE acceptance:
   WAL record: ``wal_appends_total == store_edit_batches_total``.
 """
 
+import random
+
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core import GramConfig, PQGramIndex
-from repro.edits.script import apply_script
 from repro.edits.generator import EditScriptGenerator
+from repro.edits.script import apply_script
 from repro.lookup import ForestIndex
 from repro.obsv import MetricsRegistry
 from repro.service import DocumentStore
 from repro.tree import tree_from_brackets
 
 from tests.conftest import build_random_tree
-
-import random
 
 CONFIG = GramConfig(2, 3)
 BACKENDS = [
@@ -107,8 +107,9 @@ class TestShardRollUp:
         run_lookups(sharded, seed)
 
         for name in ("index_keys_swept_total", "index_postings_touched_total"):
-            assert sharded_registry.counter_value(name) == \
-                reference_registry.counter_value(name), name
+            assert sharded_registry.counter_value(
+                name
+            ) == reference_registry.counter_value(name), name
         # Routing partitions the query keys: per-shard route counters
         # are an exact decomposition of the sharded sweep total.
         routed = sum(
@@ -128,8 +129,9 @@ class TestShardRollUp:
             "lookup_candidates_scored_total",
             "lookup_matches_total",
         ):
-            assert sharded_registry.counter_value(name) == \
-                reference_registry.counter_value(name), name
+            assert sharded_registry.counter_value(
+                name
+            ) == reference_registry.counter_value(name), name
 
     @PROPERTY_SETTINGS
     @given(

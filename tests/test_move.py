@@ -14,7 +14,7 @@ from repro.errors import EditError, InvalidLogError, RootEditError
 from repro.hashing import LabelHasher
 from repro.tree import tree_from_brackets, tree_to_brackets, validate_tree
 
-from tests.conftest import build_random_tree, gram_configs, trees
+from tests.conftest import gram_configs, trees
 
 
 def random_moves(tree, count, seed):

@@ -6,8 +6,8 @@ import pytest
 
 from repro.core import GramConfig, PQGramIndex
 from repro.datasets import dblp_tree, dblp_update_script
-from repro.errors import StorageError
 from repro.edits import Delete, Insert, Rename
+from repro.errors import StorageError
 from repro.service import DocumentStore
 from repro.tree import tree_from_brackets
 
