@@ -2,7 +2,7 @@
 
 One write path — :class:`~repro.backend.base.ForestBackend` — behind
 which the paper's ``(treeId, pqg, cnt)`` relation (Fig. 4b) is stored,
-with three interchangeable engines:
+with four interchangeable engines:
 
 - :class:`~repro.backend.memory.MemoryBackend` — plain dict bags and
   inverted lists; the bit-exact reference.
@@ -12,16 +12,21 @@ with three interchangeable engines:
 - :class:`~repro.backend.sharded.ShardedBackend` — postings hash-
   partitioned by pq-gram fingerprint over N inner backends; lookups
   fan out per shard and merge overlaps additively.
+- :class:`~repro.backend.segment.SegmentBackend` — frozen postings in
+  memory-mapped on-disk segment files plus an in-memory overlay and a
+  tail delta log; reopen maps the segment read-only and replays only
+  the delta — O(overlay), not O(index).
 
 All backends return bit-identical results on every read; the
 conformance suite (``tests/test_backend_conformance.py``) enforces it.
-Adding an mmap or remote backend is one new module implementing the
-ABC — nothing above the facade changes.
+Adding a remote backend is one new module implementing the ABC —
+nothing above the facade changes.
 """
 
 from repro.backend.base import Admit, Bag, ForestBackend, Key, make_backend
 from repro.backend.compact import CompactBackend
 from repro.backend.memory import MemoryBackend
+from repro.backend.segment import SegmentBackend
 from repro.backend.sharded import ShardedBackend
 
 __all__ = [
@@ -29,6 +34,7 @@ __all__ = [
     "MemoryBackend",
     "CompactBackend",
     "ShardedBackend",
+    "SegmentBackend",
     "make_backend",
     "Admit",
     "Bag",

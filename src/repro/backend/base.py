@@ -170,6 +170,16 @@ class ForestBackend(ABC):
         Read-only view; callers must not mutate the result.
         """
 
+    def has_key(self, key: Key) -> bool:
+        """Whether any indexed tree holds ``key`` (non-empty postings).
+
+        A cheap membership probe used by fan-out layers to skip
+        backends that cannot contribute to a sweep.  The default
+        resolves the posting list; implementations override with an
+        O(1) check.
+        """
+        return self.postings(key) is not None
+
     @abstractmethod
     def iter_postings(self) -> Iterator[Tuple[Key, Mapping[int, int]]]:
         """All ``(key, {tree_id: cnt})`` posting lists (joins, audits)."""
@@ -214,6 +224,24 @@ class ForestBackend(ABC):
         False so the worker never takes the exclusive lock for them.
         """
         return False
+
+    # ------------------------------------------------------------------
+    # durability hooks (document-store integration)
+    # ------------------------------------------------------------------
+
+    def note_commit_seq(self, seq: int) -> None:
+        """Tell the backend which store commit the next mutations
+        belong to.  Durable backends stamp the sequence into their own
+        logs so recovery can tell replayed work from missing work;
+        in-memory backends ignore it (the default)."""
+
+    def applied_seq(self, tree_id: int) -> int:
+        """The highest store commit whose effects on ``tree_id`` this
+        backend already holds durably, or ``-1`` when the backend does
+        not track durability (the default) — recovery then re-applies
+        every logged batch, which is exactly right for backends rebuilt
+        from the store snapshot."""
+        return -1
 
     # ------------------------------------------------------------------
     # snapshot isolation
@@ -274,16 +302,20 @@ class ForestBackend(ABC):
 def make_backend(
     spec: "str | ForestBackend",
     shards: Optional[int] = None,
+    directory: Optional[str] = None,
 ) -> ForestBackend:
     """Resolve a backend spec: an instance (passed through), or one of
-    the registered names ``memory`` / ``compact`` / ``sharded``.
+    the registered names ``memory`` / ``compact`` / ``sharded`` /
+    ``segment``.
 
-    ``shards`` is only meaningful with ``sharded`` (default 4 there);
-    passing it with any other spec is an error — it would silently do
-    nothing otherwise.
+    ``shards`` is only meaningful with ``sharded`` (default 4 there)
+    and ``directory`` only with ``segment`` (an ephemeral temp dir
+    there by default); passing either with any other spec is an error —
+    it would silently do nothing otherwise.
     """
     from repro.backend.compact import CompactBackend
     from repro.backend.memory import MemoryBackend
+    from repro.backend.segment import SegmentBackend
     from repro.backend.sharded import ShardedBackend
 
     if isinstance(spec, ForestBackend):
@@ -291,7 +323,15 @@ def make_backend(
             raise ValueError(
                 "shards= cannot be combined with a backend instance"
             )
+        if directory is not None:
+            raise ValueError(
+                "directory= cannot be combined with a backend instance"
+            )
         return spec
+    if directory is not None and spec != "segment":
+        raise ValueError(
+            f"directory= is only valid with the segment backend, not {spec!r}"
+        )
     if spec == "sharded":
         return ShardedBackend(shards if shards is not None else 4)
     if shards is not None:
@@ -300,6 +340,9 @@ def make_backend(
         return MemoryBackend()
     if spec == "compact":
         return CompactBackend()
+    if spec == "segment":
+        return SegmentBackend(directory)
     raise ValueError(
-        f"unknown forest backend {spec!r} (expected memory, compact or sharded)"
+        f"unknown forest backend {spec!r} "
+        "(expected memory, compact, sharded or segment)"
     )

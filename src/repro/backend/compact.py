@@ -37,10 +37,21 @@ class CompactBackend(MemoryBackend):
     REFREEZE_FRACTION = 0.25
     #: ... but never below this absolute count (tiny forests churn)
     REFREEZE_MIN_DIRTY = 64
+    #: mutations that must land between *background* refreezes.  When
+    #: the dirty fraction hovers at the threshold, the refreeze worker
+    #: would otherwise rebuild twice back-to-back — once for the batch
+    #: that crossed the line and again for the next few writes, whose
+    #: dirty set is tiny but still over ``REFREEZE_MIN_DIRTY`` relative
+    #: to a small key universe.  ``needs_compaction`` answers False
+    #: until this many mutations have accumulated since the last
+    #: freeze; explicit :meth:`compact` calls are *not* debounced.
+    REFREEZE_MIN_MUTATION_GAP = 64
 
     def __init__(self) -> None:
         self._frozen = None  # CompactPostings or None
         self._dirty: Set[Key] = set()
+        self._mutations = 0
+        self._mutations_at_freeze = 0
         super().__init__()
 
     def _bind_instruments(self, registry: MetricsRegistry) -> None:
@@ -73,6 +84,7 @@ class CompactBackend(MemoryBackend):
     def _touched(self, keys: Iterable[Key]) -> None:
         # Every mutation path funnels through here: the snapshot is
         # never consulted for a key that changed after the freeze.
+        self._mutations += 1
         if self._frozen is not None:
             self._dirty.update(keys)
 
@@ -112,10 +124,34 @@ class CompactBackend(MemoryBackend):
                     self._inverted, self._sizes
                 )
             self._dirty.clear()
+            self._mutations_at_freeze = self._mutations
             self._m_refreezes.inc()
 
     def needs_compaction(self) -> bool:
-        return HAVE_NUMPY and self._stale()
+        return (
+            HAVE_NUMPY
+            and self._stale()
+            and (
+                self._frozen is None
+                or self._mutations - self._mutations_at_freeze
+                >= self.REFREEZE_MIN_MUTATION_GAP
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # frozen-array access (sharded fast path)
+    # ------------------------------------------------------------------
+
+    def frozen_clean(self):
+        """The frozen CSR when it covers the *whole* relation, else None.
+
+        Non-None means no key is dirty: a sweep over the CSR alone is
+        bit-identical to :meth:`candidates`.  The sharded backend merges
+        every shard's clean CSR into one cross-shard sweep structure.
+        """
+        if self._frozen is not None and not self._dirty:
+            return self._frozen
+        return None
 
     # ------------------------------------------------------------------
     # snapshot isolation

@@ -1,0 +1,1156 @@
+"""Out-of-core backend: memory-mapped frozen segments + dirty overlay.
+
+The other backends rebuild their whole state in RAM on every open —
+checkpoints are ``snapshot()``/``restore()`` round-trips, so reopen is
+O(index).  :class:`SegmentBackend` keeps the frozen majority of the
+``(treeId, pqg, cnt)`` relation in an on-disk *segment* file laid out
+exactly like :class:`~repro.perf.sweep.CompactPostings` (CSR posting
+arrays + key table), mapped read-only via numpy ``memmap``.  Recent
+writes live in a small in-memory overlay (a plain
+:class:`~repro.backend.memory.MemoryBackend`) and are logged to a
+``delta-NNNNNNNN.log`` file; *sealing* folds overlay + tombstones into
+a new segment generation and truncates the delta.  Reopen therefore
+maps the segment (no parse, no copy) and replays only the delta tail —
+O(overlay), not O(index).
+
+On-disk layout (all little-endian)::
+
+    MANIFEST.json          generation, segment file name, sealed_seq,
+                           source-store fingerprint   (atomic replace)
+    segment-NNNNNNNN.seg   frozen relation, one per generation
+    delta-NNNNNNNN.log     length+crc framed records since the seal
+
+Segment file::
+
+    magic "RSEGIDX1" | <4QI4x> n_trees n_keys n_postings n_keyvals crc
+    tree_ids[T] tree_sizes[T]                      (int64 each)
+    key_offsets[K+1] key_values[V]                 key table (CSR)
+    post_offsets[K+1] post_slots[P] post_counts[P] inverted lists (CSR)
+    bag_offsets[T+1] bag_keys[P] bag_counts[P]     per-tree bags (CSR)
+
+The CRC is computed over the whole file with the crc field zeroed, so
+any byte flip — header or arrays — fails validation; truncation fails
+the size check first.  A file that fails validation raises
+:class:`~repro.errors.SegmentCorruptError` and is never served.
+
+Masking: a tree that is edited or removed after the seal is
+*tombstoned* — its segment postings are skipped by every read — and,
+for edits, its bag is first copied into the overlay (materialized) so
+the overlay copy is authoritative.  Segment ∖ tombstones and the
+overlay therefore hold disjoint tree sets, which keeps the candidate
+merge a plain additive pass.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import shutil
+import struct
+import sys
+import tempfile
+import time
+import weakref
+import zlib
+from array import array
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.backend.base import Admit, Bag, ForestBackend, Key
+from repro.backend.memory import MemoryBackend
+from repro.errors import IndexConsistencyError, SegmentCorruptError, StorageError
+from repro.obsv.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.perf.arraybag import HAVE_NUMPY
+
+if HAVE_NUMPY:
+    import numpy as _np
+
+    from repro.perf.sweep import CompactPostings
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_FORMAT = 1
+
+_MAGIC = b"RSEGIDX1"
+_HEADER = struct.Struct("<4QI4x")  # n_trees n_keys n_postings n_keyvals crc
+_HEADER_SIZE = len(_MAGIC) + _HEADER.size  # 48 bytes, 8-aligned
+
+_RECORD_FRAME = struct.Struct("<II")  # payload length, crc32(payload)
+_RECORD_HEAD = struct.Struct("<qq")  # tree_id, commit seq
+_BAG_LEN = struct.Struct("<I")
+_KEY_LEN = struct.Struct("<H")
+_INT64 = struct.Struct("<q")
+
+_OP_ADD = b"A"
+_OP_DELTA = b"D"
+_OP_REMOVE = b"R"
+
+
+def _pack_int64(values: Iterable[int]) -> bytes:
+    """Little-endian int64 serialization of a value sequence."""
+    data = values if isinstance(values, array) else array("q", values)
+    if sys.byteorder == "big":  # pragma: no cover - LE containers
+        data = array("q", data)
+        data.byteswap()
+    return data.tobytes()
+
+
+def _pack_bag(bag: Mapping[Key, int]) -> bytes:
+    out = [_BAG_LEN.pack(len(bag))]
+    for key, count in bag.items():
+        out.append(_KEY_LEN.pack(len(key)))
+        out.append(_pack_int64(key))
+        out.append(_INT64.pack(count))
+    return b"".join(out)
+
+
+def _unpack_bag(payload: bytes, offset: int) -> Tuple[Bag, int]:
+    (entries,) = _BAG_LEN.unpack_from(payload, offset)
+    offset += _BAG_LEN.size
+    bag: Bag = {}
+    for _ in range(entries):
+        (arity,) = _KEY_LEN.unpack_from(payload, offset)
+        offset += _KEY_LEN.size
+        key = struct.unpack_from("<%dq" % arity, payload, offset)
+        offset += 8 * arity
+        (count,) = _INT64.unpack_from(payload, offset)
+        offset += _INT64.size
+        bag[key] = count
+    return bag, offset
+
+
+def write_segment_file(path: str, bags: Mapping[int, Mapping[Key, int]]) -> None:
+    """Serialize ``tree → bag`` into one frozen segment at ``path``.
+
+    Tree order is the mapping's iteration order (slot assignment); key
+    order is first appearance across the bags.  Written via a sibling
+    temp file + fsync + atomic rename so a crash never leaves a torn
+    segment under the final name.
+    """
+    tree_ids = list(bags)
+    tree_sizes = [sum(bags[tree_id].values()) for tree_id in tree_ids]
+    key_index: Dict[Key, int] = {}
+    keys: List[Key] = []
+    postings: List[List[Tuple[int, int]]] = []
+    bag_offsets = array("q", [0])
+    bag_keys = array("q")
+    bag_counts = array("q")
+    for slot, tree_id in enumerate(tree_ids):
+        for key, count in bags[tree_id].items():
+            position = key_index.get(key)
+            if position is None:
+                position = key_index[key] = len(keys)
+                keys.append(key)
+                postings.append([])
+            postings[position].append((slot, count))
+            bag_keys.append(position)
+            bag_counts.append(count)
+        bag_offsets.append(len(bag_keys))
+    key_offsets = array("q", [0])
+    key_values = array("q")
+    for key in keys:
+        key_values.extend(key)
+        key_offsets.append(len(key_values))
+    post_offsets = array("q", [0])
+    post_slots = array("q")
+    post_counts = array("q")
+    for entry in postings:
+        for slot, count in entry:
+            post_slots.append(slot)
+            post_counts.append(count)
+        post_offsets.append(len(post_slots))
+
+    body = b"".join(
+        _pack_int64(part)
+        for part in (
+            array("q", tree_ids),
+            array("q", tree_sizes),
+            key_offsets,
+            key_values,
+            post_offsets,
+            post_slots,
+            post_counts,
+            bag_offsets,
+            bag_keys,
+            bag_counts,
+        )
+    )
+    counts = (len(tree_ids), len(keys), len(post_slots), len(key_values))
+    blank = _MAGIC + _HEADER.pack(*counts, 0)
+    crc = zlib.crc32(body, zlib.crc32(blank))
+    header = _MAGIC + _HEADER.pack(*counts, crc)
+
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "wb") as handle:
+        handle.write(header)
+        handle.write(body)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
+    _fsync_directory(os.path.dirname(path))
+
+
+def _fsync_directory(directory: str) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+class _Segment:
+    """Read-only view of one frozen segment file.
+
+    With numpy the posting arrays are ``memmap`` views — opening is
+    O(validation), not O(parse) — and the key table / span map are
+    materialized lazily on first use.  Without numpy the arrays are
+    plain ``array('q')`` loads and the sweep walks spans in Python.
+    """
+
+    def __init__(self, path: str, verify_checksum: bool = True) -> None:
+        self.path = path
+        try:
+            self.nbytes = os.path.getsize(path)
+        except OSError as exc:
+            raise SegmentCorruptError(f"segment file missing: {path}") from exc
+        if self.nbytes < _HEADER_SIZE:
+            raise SegmentCorruptError(f"segment {path} shorter than its header")
+        if HAVE_NUMPY:
+            self._buffer = _np.memmap(path, dtype=_np.uint8, mode="r")
+            head = bytes(self._buffer[:_HEADER_SIZE])
+        else:  # pragma: no cover - exercised only without numpy
+            with open(path, "rb") as handle:
+                self._buffer = handle.read()
+            head = self._buffer[:_HEADER_SIZE]
+        if head[: len(_MAGIC)] != _MAGIC:
+            raise SegmentCorruptError(f"segment {path} has a bad magic/version")
+        (
+            self.n_trees,
+            self.n_keys,
+            self.n_postings,
+            self.n_keyvals,
+            crc,
+        ) = _HEADER.unpack_from(head, len(_MAGIC))
+        expected = _HEADER_SIZE + 8 * (
+            3 * self.n_trees + 2 * self.n_keys + self.n_keyvals
+            + 4 * self.n_postings + 3
+        )
+        if expected != self.nbytes:
+            raise SegmentCorruptError(
+                f"segment {path} is {self.nbytes} bytes, header implies {expected}"
+            )
+        if verify_checksum:
+            blank = head[: len(_MAGIC)] + _HEADER.pack(
+                self.n_trees, self.n_keys, self.n_postings, self.n_keyvals, 0
+            )
+            actual = zlib.crc32(
+                memoryview(self._buffer)[_HEADER_SIZE:], zlib.crc32(blank)
+            )
+            if actual != crc:
+                raise SegmentCorruptError(f"segment {path} failed its checksum")
+
+        offset = _HEADER_SIZE
+        arrays = []
+        for length in (
+            self.n_trees,                # tree_ids
+            self.n_trees,                # tree_sizes
+            self.n_keys + 1,             # key_offsets
+            self.n_keyvals,              # key_values
+            self.n_keys + 1,             # post_offsets
+            self.n_postings,             # post_slots
+            self.n_postings,             # post_counts
+            self.n_trees + 1,            # bag_offsets
+            self.n_postings,             # bag_keys
+            self.n_postings,             # bag_counts
+        ):
+            arrays.append(self._view(offset, length))
+            offset += 8 * length
+        (
+            tree_id_array, self.tree_sizes, self.key_offsets, self.key_values,
+            self.post_offsets, self.post_slots, self.post_counts,
+            self.bag_offsets, self.bag_keys, self.bag_counts,
+        ) = arrays
+        self._check_csr(path)
+
+        self.tree_ids: List[int] = list(tree_id_array.tolist())
+        self.slot_of: Dict[int, int] = {
+            tree_id: slot for slot, tree_id in enumerate(self.tree_ids)
+        }
+        self._keys: Optional[List[Key]] = None
+        self._spans: Optional[Dict[Key, Tuple[int, int]]] = None
+        self._frozen = None
+
+    def _view(self, offset: int, length: int):
+        if HAVE_NUMPY:
+            return _np.frombuffer(
+                self._buffer, dtype="<i8", count=length, offset=offset
+            )
+        data = array("q")  # pragma: no cover - exercised only without numpy
+        data.frombytes(self._buffer[offset:offset + 8 * length])
+        if sys.byteorder == "big":  # pragma: no cover
+            data.byteswap()
+        return data
+
+    def _check_csr(self, path: str) -> None:
+        """Structural sanity on the CSR arrays (belt under the CRC)."""
+        for name, offsets, total in (
+            ("key_offsets", self.key_offsets, self.n_keyvals),
+            ("post_offsets", self.post_offsets, self.n_postings),
+            ("bag_offsets", self.bag_offsets, self.n_postings),
+        ):
+            if len(offsets) and (offsets[0] != 0 or offsets[-1] != total):
+                raise SegmentCorruptError(
+                    f"segment {path}: {name} endpoints are inconsistent"
+                )
+            if HAVE_NUMPY:
+                monotone = bool((_np.diff(offsets) >= 0).all()) if len(offsets) else True
+            else:  # pragma: no cover - exercised only without numpy
+                monotone = all(
+                    offsets[i] <= offsets[i + 1] for i in range(len(offsets) - 1)
+                )
+            if not monotone:
+                raise SegmentCorruptError(
+                    f"segment {path}: {name} is not monotone"
+                )
+        if self.n_postings:
+            if HAVE_NUMPY:
+                slots_ok = bool(
+                    ((self.post_slots >= 0) & (self.post_slots < self.n_trees)).all()
+                )
+                bag_keys_ok = bool(
+                    ((self.bag_keys >= 0) & (self.bag_keys < self.n_keys)).all()
+                )
+            else:  # pragma: no cover - exercised only without numpy
+                slots_ok = all(0 <= s < self.n_trees for s in self.post_slots)
+                bag_keys_ok = all(0 <= k < self.n_keys for k in self.bag_keys)
+            if not slots_ok:
+                raise SegmentCorruptError(
+                    f"segment {path}: posting slot out of range"
+                )
+            if not bag_keys_ok:
+                raise SegmentCorruptError(
+                    f"segment {path}: bag key index out of range"
+                )
+
+    # -- lazy structures ------------------------------------------------
+
+    def keys(self) -> List[Key]:
+        if self._keys is None:
+            values = (
+                self.key_values.tolist()
+                if HAVE_NUMPY
+                else list(self.key_values)
+            )
+            offsets = (
+                self.key_offsets.tolist()
+                if HAVE_NUMPY
+                else list(self.key_offsets)
+            )
+            self._keys = [
+                tuple(values[offsets[i]:offsets[i + 1]])
+                for i in range(self.n_keys)
+            ]
+        return self._keys
+
+    def spans(self) -> Dict[Key, Tuple[int, int]]:
+        if self._spans is None:
+            keys = self.keys()
+            offsets = (
+                self.post_offsets.tolist()
+                if HAVE_NUMPY
+                else list(self.post_offsets)
+            )
+            self._spans = {
+                keys[i]: (offsets[i], offsets[i + 1])
+                for i in range(self.n_keys)
+            }
+        return self._spans
+
+    def frozen(self) -> "CompactPostings":
+        """The mmapped arrays wrapped as a :class:`CompactPostings`."""
+        if self._frozen is None:
+            if not HAVE_NUMPY:  # pragma: no cover - guarded by callers
+                raise RuntimeError("frozen() requires numpy")
+            self._frozen = CompactPostings(
+                self.tree_ids,
+                self.tree_sizes,
+                self.post_slots.astype(_np.intp),
+                self.post_counts,
+                self.spans(),
+            )
+        return self._frozen
+
+    def tree_bag(self, tree_id: int) -> Bag:
+        slot = self.slot_of[tree_id]
+        start, end = self.bag_offsets[slot], self.bag_offsets[slot + 1]
+        keys = self.keys()
+        if HAVE_NUMPY:
+            key_ids = self.bag_keys[start:end].tolist()
+            counts = self.bag_counts[start:end].tolist()
+        else:  # pragma: no cover - exercised only without numpy
+            key_ids = list(self.bag_keys[start:end])
+            counts = list(self.bag_counts[start:end])
+        return {keys[k]: c for k, c in zip(key_ids, counts)}
+
+    def key_postings(self, key: Key) -> Optional[Dict[int, int]]:
+        span = self.spans().get(key)
+        if span is None:
+            return None
+        start, end = span
+        tree_ids = self.tree_ids
+        if HAVE_NUMPY:
+            slots = self.post_slots[start:end].tolist()
+            counts = self.post_counts[start:end].tolist()
+        else:  # pragma: no cover - exercised only without numpy
+            slots = list(self.post_slots[start:end])
+            counts = list(self.post_counts[start:end])
+        return {tree_ids[s]: c for s, c in zip(slots, counts)}
+
+
+class SegmentBackend(ForestBackend):
+    """Frozen on-disk segment + in-memory overlay + tail delta log."""
+
+    name = "segment"
+
+    #: seal policy, mirroring the compact backend's refreeze policy
+    SEAL_MIN_DIRTY = 64
+    SEAL_FRACTION = 0.25
+    #: mutations that must accumulate between background seals
+    SEAL_MIN_MUTATION_GAP = 64
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        *,
+        verify_checksums: bool = True,
+    ) -> None:
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="repro-segments-")
+            self._finalizer = weakref.finalize(
+                self, shutil.rmtree, directory, True
+            )
+            self.ephemeral = True
+        else:
+            os.makedirs(directory, exist_ok=True)
+            self._finalizer = None
+            self.ephemeral = False
+        self.directory = directory
+        self.verify_checksums = verify_checksums
+
+        self._overlay = MemoryBackend()
+        self._tombstones: Set[int] = set()
+        self._masked_counts: Dict[Key, int] = {}
+        self._sizes: Dict[int, int] = {}
+        self._segment: Optional[_Segment] = None
+        self._generation = 0
+        self._source: Optional[str] = None
+        self._sealed_seq = -1
+        self._max_seq = -1
+        self._seq = -1
+        self._watermarks: Dict[int, int] = {}
+        self._mutations = 0
+        self._mutations_at_seal = 0
+        self._delta: Optional[io.BufferedWriter] = None
+        self._closed = False
+
+        started = time.perf_counter()
+        reopened = self._open_existing()
+        self._pending_reopen = (
+            time.perf_counter() - started if reopened else None
+        )
+        self.bind_metrics(NULL_REGISTRY)
+
+    # ------------------------------------------------------------------
+    # open / reopen
+    # ------------------------------------------------------------------
+
+    def _manifest_path(self) -> str:
+        return os.path.join(self.directory, MANIFEST_NAME)
+
+    def _delta_path(self) -> str:
+        return os.path.join(self.directory, "delta-%08d.log" % self._generation)
+
+    def _open_existing(self) -> bool:
+        manifest_path = self._manifest_path()
+        if not os.path.exists(manifest_path):
+            return False
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError) as exc:
+            raise SegmentCorruptError(
+                f"unreadable segment manifest {manifest_path}: {exc}"
+            ) from exc
+        if not isinstance(manifest, dict) or manifest.get("format") != MANIFEST_FORMAT:
+            raise SegmentCorruptError(
+                f"segment manifest {manifest_path} has an unsupported format"
+            )
+        try:
+            self._generation = int(manifest["generation"])
+            segment_name = manifest["segment"]
+            self._sealed_seq = int(manifest.get("sealed_seq", -1))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SegmentCorruptError(
+                f"segment manifest {manifest_path} is missing fields: {exc}"
+            ) from exc
+        self._max_seq = self._sealed_seq
+        self._source = manifest.get("source")
+        if segment_name is not None:
+            self._segment = _Segment(
+                os.path.join(self.directory, segment_name),
+                verify_checksum=self.verify_checksums,
+            )
+            segment = self._segment
+            for slot, tree_id in enumerate(segment.tree_ids):
+                self._sizes[tree_id] = int(segment.tree_sizes[slot])
+        self._replay_delta()
+        self._remove_orphans(segment_name)
+        return True
+
+    def _replay_delta(self) -> None:
+        path = self._delta_path()
+        if not os.path.exists(path):
+            return
+        with open(path, "rb") as handle:
+            data = handle.read()
+        offset = 0
+        while offset + _RECORD_FRAME.size <= len(data):
+            length, crc = _RECORD_FRAME.unpack_from(data, offset)
+            start = offset + _RECORD_FRAME.size
+            payload = data[start:start + length]
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                break  # torn tail: everything after it was never durable
+            self._apply_record(payload)
+            offset = start + length
+        if offset < len(data):
+            # Drop the torn tail so new records never append after junk.
+            with open(path, "r+b") as handle:
+                handle.truncate(offset)
+
+    def _apply_record(self, payload: bytes) -> None:
+        op = payload[:1]
+        tree_id, seq = _RECORD_HEAD.unpack_from(payload, 1)
+        offset = 1 + _RECORD_HEAD.size
+        if op == _OP_ADD:
+            bag, _ = _unpack_bag(payload, offset)
+            self._apply_add(tree_id, bag)
+        elif op == _OP_DELTA:
+            minus, offset = _unpack_bag(payload, offset)
+            plus, _ = _unpack_bag(payload, offset)
+            self._apply_delta(tree_id, minus, plus)
+        elif op == _OP_REMOVE:
+            self._apply_remove(tree_id)
+        else:
+            raise SegmentCorruptError(
+                f"delta log {self._delta_path()} holds unknown op {op!r}"
+            )
+        self._watermarks[tree_id] = max(self._watermarks.get(tree_id, -1), seq)
+        if seq > self._max_seq:
+            self._max_seq = seq
+
+    def _remove_orphans(self, segment_name: Optional[str]) -> None:
+        """Drop segment/delta files a crashed seal left unreferenced."""
+        keep = {MANIFEST_NAME, os.path.basename(self._delta_path())}
+        if segment_name is not None:
+            keep.add(segment_name)
+        try:
+            entries = os.listdir(self.directory)
+        except OSError:  # pragma: no cover - directory raced away
+            return
+        for entry in entries:
+            if entry in keep:
+                continue
+            if entry.startswith(("segment-", "delta-")):
+                try:
+                    os.remove(os.path.join(self.directory, entry))
+                except OSError:  # pragma: no cover - best effort
+                    pass
+
+    def ready(self) -> None:
+        """Force the lazy segment structures (key table, span map).
+
+        Reopen defers them so opening is O(validation); the first sweep
+        would otherwise pay the build.  Benchmarks and warm-up paths
+        call this to measure / hide that cost explicitly.
+        """
+        if self._segment is not None:
+            self._segment.spans()
+            if HAVE_NUMPY:
+                self._segment.frozen()
+
+    # ------------------------------------------------------------------
+    # observability binding
+    # ------------------------------------------------------------------
+
+    def _bind_instruments(self, registry: MetricsRegistry) -> None:
+        self._overlay.bind_metrics(registry)
+        # Same instrument ids as the reference backend: the registry
+        # dedups, so these are the very counters the overlay increments.
+        self._m_keys_swept = registry.counter(
+            "index_keys_swept_total",
+            "query pq-gram keys processed by the candidate sweep",
+        )
+        self._m_postings_touched = registry.counter(
+            "index_postings_touched_total",
+            "inverted-list (tree, cnt) entries consulted by sweeps",
+        )
+        self._m_candidates_emitted = registry.counter(
+            "index_candidates_emitted_total",
+            "candidate trees emitted by sweeps (after any admit filter)",
+        )
+        self._m_seals = registry.counter(
+            "segment_seals_total",
+            "overlay+tombstone seals folded into a new frozen segment",
+        )
+        self._m_seal_seconds = registry.histogram(
+            "segment_seal_seconds",
+            "wall time of segment seals (snapshot, write, fsync, swap)",
+        )
+        self._m_reopen_seconds = registry.histogram(
+            "segment_reopen_seconds",
+            "wall time of cold opens (map + validate + delta replay)",
+        )
+        if self._pending_reopen is not None and registry.enabled:
+            self._m_reopen_seconds.observe(self._pending_reopen)
+            self._pending_reopen = None
+
+    # ------------------------------------------------------------------
+    # delta log
+    # ------------------------------------------------------------------
+
+    def _append_delta(self, op: bytes, tree_id: int, *bags: Mapping[Key, int]) -> None:
+        payload = op + _RECORD_HEAD.pack(tree_id, self._seq) + b"".join(
+            _pack_bag(bag) for bag in bags
+        )
+        if self._delta is None:
+            self._delta = open(self._delta_path(), "ab")
+        self._delta.write(_RECORD_FRAME.pack(len(payload), zlib.crc32(payload)))
+        self._delta.write(payload)
+        self._delta.flush()
+        self._watermarks[tree_id] = max(
+            self._watermarks.get(tree_id, -1), self._seq
+        )
+        if self._seq > self._max_seq:
+            self._max_seq = self._seq
+        self._mutations += 1
+
+    def _sync_delta(self) -> None:
+        if self._delta is not None:
+            self._delta.flush()
+            os.fsync(self._delta.fileno())
+
+    # ------------------------------------------------------------------
+    # commit sequencing (document-store integration)
+    # ------------------------------------------------------------------
+
+    def note_commit_seq(self, seq: int) -> None:
+        """Stamp subsequent delta records with the store's commit seq."""
+        self._seq = seq
+
+    def applied_seq(self, tree_id: int) -> int:
+        """Highest commit seq durably folded into segment or delta for
+        ``tree_id`` — WAL replay skips forest updates at or below it."""
+        return max(self._sealed_seq, self._watermarks.get(tree_id, -1))
+
+    @property
+    def sealed_seq(self) -> int:
+        return self._sealed_seq
+
+    def truncate_seq_frontier(self, seq: int) -> None:
+        """Clamp the sequence high-water mark after a recovery rollback.
+
+        When the store rolls back folded deltas that outran its
+        committed WAL (a torn append left the index ahead of the
+        documents), the rogue records still inflate ``_max_seq`` — and
+        the next seal would persist that phantom frontier as
+        ``sealed_seq``, making later recoveries skip WAL batches the
+        index never actually folded.
+        """
+        self._max_seq = min(self._max_seq, seq)
+        self._sealed_seq = min(self._sealed_seq, seq)
+        self._seq = min(self._seq, seq)
+        self._watermarks = {
+            tree_id: min(mark, seq)
+            for tree_id, mark in self._watermarks.items()
+        }
+
+    def set_source(self, fingerprint: Optional[str]) -> None:
+        """Record the owning store's identity (persisted at next seal)."""
+        self._source = fingerprint
+
+    def source_fingerprint(self) -> Optional[str]:
+        return self._source
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def _segment_trees(self) -> Set[int]:
+        return set() if self._segment is None else set(self._segment.slot_of)
+
+    def _tombstone(self, tree_id: int) -> None:
+        """Mask one segment tree and account its postings as dead."""
+        if self._segment is None or tree_id in self._tombstones:
+            return
+        if tree_id not in self._segment.slot_of:
+            return
+        self._tombstones.add(tree_id)
+        for key in self._segment.tree_bag(tree_id):
+            self._masked_counts[key] = self._masked_counts.get(key, 0) + 1
+
+    def _materialize(self, tree_id: int) -> None:
+        """First write to a frozen tree: copy its bag into the overlay
+        and tombstone the segment copy so the overlay is authoritative."""
+        if tree_id in self._overlay:
+            return
+        bag = self._segment.tree_bag(tree_id)
+        self._tombstone(tree_id)
+        self._overlay.add_tree_bag(tree_id, bag)
+
+    def _apply_add(self, tree_id: int, bag: Mapping[Key, int]) -> None:
+        if tree_id in self._sizes:
+            raise StorageError(f"tree id {tree_id} is already indexed")
+        self._overlay.add_tree_bag(tree_id, bag)
+        self._sizes[tree_id] = self._overlay.tree_size(tree_id)
+
+    def _apply_delta(
+        self, tree_id: int, minus: Mapping[Key, int], plus: Mapping[Key, int]
+    ) -> None:
+        if tree_id not in self._sizes:
+            raise StorageError(f"tree id {tree_id} is not indexed")
+        if tree_id not in self._overlay:
+            self._materialize(tree_id)
+        self._overlay.apply_tree_delta(tree_id, minus, plus)
+        self._sizes[tree_id] = self._overlay.tree_size(tree_id)
+
+    def _apply_remove(self, tree_id: int) -> None:
+        if tree_id not in self._sizes:
+            return
+        self._overlay.remove_tree(tree_id)
+        self._tombstone(tree_id)
+        del self._sizes[tree_id]
+
+    def add_tree_bag(self, tree_id: int, bag: Mapping[Key, int]) -> None:
+        self._apply_add(tree_id, bag)
+        self._append_delta(_OP_ADD, tree_id, bag)
+
+    def apply_tree_delta(
+        self, tree_id: int, minus: Mapping[Key, int], plus: Mapping[Key, int]
+    ) -> None:
+        self._apply_delta(tree_id, minus, plus)
+        self._append_delta(_OP_DELTA, tree_id, minus, plus)
+
+    def remove_tree(self, tree_id: int) -> None:
+        if tree_id not in self._sizes:
+            return
+        self._apply_remove(tree_id)
+        self._append_delta(_OP_REMOVE, tree_id)
+
+    def restore(self, bags: Mapping[int, Mapping[Key, int]]) -> None:
+        self._sizes = {
+            tree_id: sum(bag.values()) for tree_id, bag in bags.items()
+        }
+        self._seal_from({tree_id: dict(bag) for tree_id, bag in bags.items()})
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def candidates(
+        self,
+        query_items: Iterable[Tuple[Key, int]],
+        admit: Optional[Admit] = None,
+    ) -> Dict[int, int]:
+        items = (
+            query_items
+            if isinstance(query_items, (list, tuple))
+            else list(query_items)
+        )
+        merged: Dict[int, int] = {}
+        touched = self._sweep_segment(items, merged)
+        # Segment ∖ tombstones and the overlay are disjoint tree sets,
+        # so accumulating the overlay into the same map is additive.
+        _, overlay_touched = self._overlay._accumulate(items, None, merged)
+        touched += overlay_touched
+        if admit is not None and merged:
+            merged = {
+                tree_id: overlap
+                for tree_id, overlap in merged.items()
+                if admit(tree_id)
+            }
+        self._m_keys_swept.inc(len(items))
+        self._m_postings_touched.inc(touched)
+        self._m_candidates_emitted.inc(len(merged))
+        return merged
+
+    def _sweep_segment(
+        self, items: List[Tuple[Key, int]], merged: Dict[int, int]
+    ) -> int:
+        """Sweep the frozen segment into ``merged``, skipping masked
+        trees; returns live posting entries touched (metric parity with
+        the reference backend, which never sees masked entries)."""
+        segment = self._segment
+        if segment is None:
+            return 0
+        masked = self._tombstones
+        masked_counts = self._masked_counts
+        if HAVE_NUMPY:
+            frozen = segment.frozen()
+            acc = _np.zeros(len(frozen.tree_ids), dtype=_np.int64)
+            frozen.sweep_into(items, acc)
+            tree_ids = frozen.tree_ids
+            if masked:
+                for slot in _np.nonzero(acc)[0]:
+                    tree_id = tree_ids[slot]
+                    if tree_id not in masked:
+                        merged[tree_id] = int(acc[slot])
+            else:
+                for slot in _np.nonzero(acc)[0]:
+                    merged[tree_ids[slot]] = int(acc[slot])
+            if not masked_counts:
+                return frozen.last_touched
+            spans = segment.spans()
+            touched = 0
+            for key, _ in items:
+                span = spans.get(key)
+                if span is not None:
+                    touched += span[1] - span[0] - masked_counts.get(key, 0)
+            return touched
+        spans = segment.spans()  # pragma: no cover - exercised without numpy
+        slots, counts = segment.post_slots, segment.post_counts
+        tree_ids = segment.tree_ids
+        touched = 0
+        for key, query_count in items:
+            span = spans.get(key)
+            if span is None:
+                continue
+            start, end = span
+            touched += end - start - masked_counts.get(key, 0)
+            for index in range(start, end):
+                tree_id = tree_ids[slots[index]]
+                if tree_id in masked:
+                    continue
+                count = counts[index]
+                merged[tree_id] = merged.get(tree_id, 0) + (
+                    query_count if query_count < count else count
+                )
+        return touched
+
+    def tree_bag(self, tree_id: int) -> Mapping[Key, int]:
+        if tree_id in self._overlay:
+            return self._overlay.tree_bag(tree_id)
+        if tree_id in self._sizes and self._segment is not None:
+            return self._segment.tree_bag(tree_id)
+        raise StorageError(f"tree id {tree_id} is not indexed")
+
+    def tree_size(self, tree_id: int) -> int:
+        try:
+            return self._sizes[tree_id]
+        except KeyError:
+            raise StorageError(f"tree id {tree_id} is not indexed") from None
+
+    def iter_sizes(self) -> Iterable[Tuple[int, int]]:
+        return self._sizes.items()
+
+    def has_key(self, key: Key) -> bool:
+        if self._overlay.has_key(key):
+            return True
+        segment = self._segment
+        if segment is None:
+            return False
+        span = segment.spans().get(key)
+        if span is None:
+            return False
+        return span[1] - span[0] - self._masked_counts.get(key, 0) > 0
+
+    def postings(self, key: Key) -> Optional[Mapping[int, int]]:
+        overlay = self._overlay.postings(key)
+        segment = self._segment
+        if segment is None:
+            return overlay
+        frozen = segment.key_postings(key)
+        if frozen is None:
+            return overlay
+        if self._tombstones:
+            for tree_id in self._tombstones:
+                frozen.pop(tree_id, None)
+        if overlay:
+            frozen.update(overlay)
+        return frozen or None
+
+    def iter_postings(self) -> Iterator[Tuple[Key, Mapping[int, int]]]:
+        segment = self._segment
+        seen: Set[Key] = set()
+        if segment is not None:
+            for key in segment.keys():
+                seen.add(key)
+                entry = self.postings(key)
+                if entry:
+                    yield key, entry
+        for key, entry in self._overlay.iter_postings():
+            if key not in seen:
+                yield key, entry
+
+    def snapshot(self) -> Dict[int, Bag]:
+        overlay = self._overlay
+        segment = self._segment
+        out: Dict[int, Bag] = {}
+        for tree_id in self._sizes:
+            if tree_id in overlay:
+                out[tree_id] = dict(overlay.tree_bag(tree_id))
+            else:
+                out[tree_id] = segment.tree_bag(tree_id)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._sizes)
+
+    def __contains__(self, tree_id: int) -> bool:
+        return tree_id in self._sizes
+
+    # ------------------------------------------------------------------
+    # sealing (the segment analogue of compact's refreeze)
+    # ------------------------------------------------------------------
+
+    def _dirty_keys(self) -> int:
+        return len(self._overlay._inverted) + len(self._masked_counts)
+
+    def _stale(self) -> bool:
+        dirty = self._dirty_keys()
+        if self._segment is None:
+            return bool(self._sizes) or dirty > 0 or bool(self._tombstones)
+        if not dirty and not self._tombstones:
+            return False
+        total = dirty + self._segment.n_keys
+        return (
+            dirty >= self.SEAL_MIN_DIRTY
+            or dirty >= self.SEAL_FRACTION * total
+        )
+
+    def needs_compaction(self) -> bool:
+        return self._stale() and (
+            self._segment is None
+            or self._mutations - self._mutations_at_seal
+            >= self.SEAL_MIN_MUTATION_GAP
+        )
+
+    def compact(self) -> None:
+        if self._stale():
+            self.seal()
+
+    def seal(self) -> bool:
+        """Fold overlay + tombstones into a new frozen generation.
+
+        Writes the next ``segment-*.seg``, swaps the manifest
+        atomically, resets the overlay and truncates the delta log.
+        Returns whether anything was written (False when the live
+        relation already equals the frozen segment).
+        """
+        if (
+            not self._overlay._inverted
+            and not self._tombstones
+            and not (self._segment is None and self._sizes)
+        ):
+            return False
+        started = time.perf_counter()
+        self._seal_from(self.snapshot())
+        self._m_seals.inc()
+        self._m_seal_seconds.observe(time.perf_counter() - started)
+        return True
+
+    def _seal_from(self, bags: Dict[int, Bag]) -> None:
+        generation = self._generation + 1
+        segment_name = "segment-%08d.seg" % generation if bags else None
+        old_segment = self._segment
+        old_delta = self._delta_path() if os.path.exists(self._delta_path()) else None
+        if segment_name is not None:
+            write_segment_file(
+                os.path.join(self.directory, segment_name), bags
+            )
+        self._write_manifest(generation, segment_name)
+        if self._delta is not None:
+            self._delta.close()
+            self._delta = None
+        self._generation = generation
+        self._segment = (
+            _Segment(
+                os.path.join(self.directory, segment_name),
+                verify_checksum=False,  # we wrote it this very call
+            )
+            if segment_name is not None
+            else None
+        )
+        self._overlay.restore({})
+        self._tombstones = set()
+        self._masked_counts = {}
+        self._watermarks = {}
+        self._sealed_seq = self._max_seq
+        self._mutations_at_seal = self._mutations
+        for stale_path in filter(None, (
+            old_segment.path if old_segment is not None else None,
+            old_delta,
+        )):
+            try:
+                os.remove(stale_path)
+            except OSError:  # pragma: no cover - best effort
+                pass
+
+    def _write_manifest(self, generation: int, segment_name: Optional[str]) -> None:
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "generation": generation,
+            "segment": segment_name,
+            "sealed_seq": self._max_seq,
+            "source": self._source,
+        }
+        path = self._manifest_path()
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+        _fsync_directory(self.directory)
+
+    def checkpoint(self) -> bool:
+        """Make the relation durable for a store checkpoint.
+
+        Seals when the overlay has grown past the refreeze thresholds
+        (folding it into a new generation); otherwise just fsyncs the
+        delta log — either way, after this returns the WAL may be
+        truncated.  Returns whether a seal happened.
+        """
+        if self._stale():
+            return self.seal()
+        self._sync_delta()
+        if not os.path.exists(self._manifest_path()):
+            self._write_manifest(self._generation, None)
+        return False
+
+    # ------------------------------------------------------------------
+    # snapshot isolation
+    # ------------------------------------------------------------------
+
+    def freeze_view(self):
+        if HAVE_NUMPY and self._segment is not None:
+            from repro.concurrency.snapshot import SegmentSnapshot
+
+            return SegmentSnapshot(
+                self._segment.frozen(),
+                frozenset(self._tombstones),
+                {
+                    key: dict(entry)
+                    for key, entry in self._overlay.iter_postings()
+                },
+                dict(self._sizes),
+            )
+        return super().freeze_view()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._delta is not None:
+            self._delta.close()
+            self._delta = None
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        segment = self._segment
+        masked_postings = sum(self._masked_counts.values())
+        dead_keys = 0
+        if segment is not None and self._masked_counts:
+            spans = segment.spans()
+            for key, masked in self._masked_counts.items():
+                start, end = spans[key]
+                if end - start == masked:
+                    dead_keys += 1
+        overlay_stats = self._overlay.stats()
+        segment_keys = 0 if segment is None else segment.n_keys
+        segment_postings = 0 if segment is None else segment.n_postings
+        overlay_only_keys = sum(
+            1
+            for key in self._overlay._inverted
+            if segment is None or key not in segment.spans()
+        )
+        return {
+            "backend": self.name,
+            "trees": len(self._sizes),
+            "postings": (
+                segment_postings - masked_postings + overlay_stats["postings"]
+            ),
+            "distinct_keys": segment_keys - dead_keys + overlay_only_keys,
+            "segments": 0 if segment is None else 1,
+            "segment_bytes": 0 if segment is None else segment.nbytes,
+            "segment_keys": segment_keys,
+            "overlay_keys": overlay_stats["distinct_keys"],
+            "overlay_trees": overlay_stats["trees"],
+            "tombstones": len(self._tombstones),
+            "generation": self._generation,
+            "sealed_seq": self._sealed_seq,
+            "directory": self.directory,
+        }
+
+    def check_consistency(self) -> None:
+        self._overlay.check_consistency()
+        if not self._tombstones <= self._segment_trees():
+            raise IndexConsistencyError(
+                "tombstones reference trees absent from the segment"
+            )
+        overlap = self._segment_trees() & set(self._overlay._bags)
+        if not overlap <= self._tombstones:
+            raise IndexConsistencyError(
+                "overlay shadows segment trees without tombstones"
+            )
+        sizes: Dict[int, int] = {}
+        segment = self._segment
+        if segment is not None:
+            # Re-derive the inverted CSR from the bag CSR (transpose).
+            derived: Dict[Key, Dict[int, int]] = {}
+            for tree_id in segment.tree_ids:
+                bag = segment.tree_bag(tree_id)
+                expected = int(segment.tree_sizes[segment.slot_of[tree_id]])
+                if sum(bag.values()) != expected:
+                    raise IndexConsistencyError(
+                        f"segment size metadata drifted for tree {tree_id}"
+                    )
+                for key, count in bag.items():
+                    derived.setdefault(key, {})[tree_id] = count
+                if tree_id not in self._tombstones:
+                    sizes[tree_id] = expected
+            stored = {
+                key: segment.key_postings(key) for key in segment.keys()
+            }
+            if derived != {key: entry for key, entry in stored.items() if entry}:
+                raise IndexConsistencyError(
+                    "segment posting arrays drifted from its bag arrays"
+                )
+            masked: Dict[Key, int] = {}
+            for tree_id in self._tombstones:
+                for key in segment.tree_bag(tree_id):
+                    masked[key] = masked.get(key, 0) + 1
+            if masked != self._masked_counts:
+                raise IndexConsistencyError(
+                    "masked posting accounting drifted from the tombstones"
+                )
+        elif self._tombstones or self._masked_counts:
+            raise IndexConsistencyError(
+                "tombstones present without a frozen segment"
+            )
+        for tree_id, size in self._overlay.iter_sizes():
+            sizes[tree_id] = size
+        if sizes != self._sizes:
+            raise IndexConsistencyError(
+                "size metadata drifted from segment + overlay"
+            )

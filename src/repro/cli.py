@@ -22,6 +22,7 @@ Examples::
     python -m repro distance old.xml new.xml
     python -m repro diff old.xml new.xml > edits.log
     python -m repro store --dir ./mystore create --backend sharded --shards 4
+    python -m repro store --dir ./mystore create --backend segment
     python -m repro store --dir ./mystore add 1 doc.xml
     python -m repro store --dir ./mystore edit 1 edits.log
     python -m repro store --dir ./mystore applylog 1 edits.log --engine batch --jobs 4
@@ -135,10 +136,12 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     create_parser.add_argument(
         "--backend",
-        choices=("memory", "compact", "sharded"),
+        choices=("memory", "compact", "sharded", "segment"),
         default="compact",
         help="forest storage backend (default compact: array snapshot "
-        "with a delta overlay; all backends are bit-identical)",
+        "with a delta overlay; segment keeps the frozen postings in "
+        "memory-mapped files under <dir>/segments for instant reopen; "
+        "all backends are bit-identical)",
     )
     create_parser.add_argument(
         "--shards",
@@ -356,6 +359,8 @@ def _command_store(arguments: argparse.Namespace) -> int:
         described = store.backend_name
         if described == "sharded":
             described += f" ({store.stats()['shards']} shards)"
+        elif described == "segment":
+            described += f" (segments in {os.path.join(arguments.dir, 'segments')})"
         print(f"created store at {arguments.dir} (backend {described})")
         return 0
     serve_threads = arguments.serve_threads

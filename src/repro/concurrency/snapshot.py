@@ -173,6 +173,52 @@ class OverlaySnapshot(SnapshotHandle):
         return _admit_filter(merged, admit)
 
 
+class SegmentSnapshot(SnapshotHandle):
+    """Shared mmapped segment CSR + copied overlay (segment backend).
+
+    ``masked`` is the tombstone set frozen at materialization: trees
+    edited or removed since the seal whose segment postings must be
+    skipped (their authoritative copy, if any, is in ``overlay``).  The
+    segment file is read-only by construction, so sharing its arrays
+    across handles and processes is free; only the overlay's inverted
+    lists and the size metadata are copied — O(overlay + trees).
+    """
+
+    __slots__ = ("_frozen", "_masked", "_overlay")
+
+    def __init__(
+        self,
+        frozen: object,
+        masked: FrozenSet[int],
+        overlay: Dict[Key, Dict[int, int]],
+        sizes: Dict[int, int],
+    ) -> None:
+        super().__init__(sizes)
+        self._frozen = frozen
+        self._masked = masked
+        self._overlay = overlay
+
+    def candidates(
+        self,
+        query_items: Iterable[Tuple[Key, int]],
+        admit: Optional[Admit] = None,
+    ) -> Dict[int, int]:
+        items = (
+            query_items
+            if isinstance(query_items, (list, tuple))
+            else list(query_items)
+        )
+        merged: Dict[int, int] = self._frozen.sweep(items)  # type: ignore[attr-defined]
+        if self._masked:
+            for tree_id in self._masked:
+                merged.pop(tree_id, None)
+        if self._overlay:
+            # Masked trees cover every overlay ∩ segment tree, so the
+            # overlay sweep adds disjoint entries — plain addition.
+            sweep_dict(self._overlay, items, merged)
+        return _admit_filter(merged, admit)
+
+
 class ShardSnapshot(SnapshotHandle):
     """One inner handle per shard, merged by addition (sharded backend)."""
 

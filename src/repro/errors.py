@@ -52,6 +52,16 @@ class StorageError(ReproError):
     """Base class for errors raised by the embedded relational store."""
 
 
+class SegmentCorruptError(StorageError):
+    """An on-disk index segment failed validation (bad magic, size or
+    checksum mismatch, inconsistent CSR offsets, missing manifest).
+
+    Raised by :mod:`repro.backend.segment` on open — a corrupt segment
+    is *never* served; callers either repair from an authoritative
+    source (the document store rebuilds from the documents) or surface
+    the error."""
+
+
 class SchemaError(StorageError):
     """A row or query does not match the table schema."""
 

@@ -36,7 +36,9 @@ class ForestIndex:
     """pq-gram indexes of a forest, with persistence and maintenance.
 
     ``backend`` selects the storage engine — ``"memory"``,
-    ``"compact"`` (default), ``"sharded"`` (with ``shards=N``), or any
+    ``"compact"`` (default), ``"sharded"`` (with ``shards=N``),
+    ``"segment"`` (on-disk; ``directory=`` names the segment
+    directory, an ephemeral temp dir otherwise), or any
     :class:`~repro.backend.base.ForestBackend` instance.  Every
     backend is bit-identical on lookups and maintenance; only the
     sweep cost and scaling behaviour differ.
@@ -48,10 +50,11 @@ class ForestIndex:
         backend: Union[str, ForestBackend] = "compact",
         shards: Optional[int] = None,
         metrics: "Optional[MetricsRegistry | bool]" = None,
+        directory: Optional[str] = None,
     ) -> None:
         self.config = config or GramConfig()
         self.hasher = LabelHasher()
-        self._backend = make_backend(backend, shards=shards)
+        self._backend = make_backend(backend, shards=shards, directory=directory)
         self.metrics = resolve_registry(metrics)
         self._backend.bind_metrics(self.metrics)
         self._bind_instruments(self.metrics)
@@ -227,6 +230,17 @@ class ForestIndex:
             registry.gauge(
                 "compact_dirty_keys", "keys overlaying the frozen snapshot"
             ).set(int(backend_stats["dirty_keys"]))
+        if "segments" in backend_stats:
+            registry.gauge(
+                "segments_open", "frozen on-disk segments currently mapped"
+            ).set(int(backend_stats["segments"]))
+            registry.gauge(
+                "segment_bytes", "bytes of the mapped frozen segment files"
+            ).set(int(backend_stats["segment_bytes"]))
+            registry.gauge(
+                "segment_overlay_keys",
+                "distinct keys in the segment backend's dirty overlay",
+            ).set(int(backend_stats["overlay_keys"]))
         for index, postings in enumerate(
             backend_stats.get("shard_postings", ())
         ):

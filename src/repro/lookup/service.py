@@ -150,19 +150,24 @@ class LookupService:
         shards: Optional[int] = None,
         jobs: Optional[int] = None,
         metrics: "Optional[MetricsRegistry | bool]" = None,
+        directory: Optional[str] = None,
         **kwargs: object,
     ) -> "LookupService":
         """Build a forest over ``collection`` and wrap it in a service.
 
         ``backend`` / ``shards`` pick the forest's storage engine
-        (memory, compact, or sharded over N partitions), ``jobs``
-        fans the per-tree index construction out over worker
-        processes, and ``metrics`` (a registry or ``True``) enables
-        observability; remaining keyword arguments go to the service
-        constructor.
+        (memory, compact, sharded over N partitions, or segment with
+        ``directory`` naming its on-disk home), ``jobs`` fans the
+        per-tree index construction out over worker processes, and
+        ``metrics`` (a registry or ``True``) enables observability;
+        remaining keyword arguments go to the service constructor.
         """
         forest = ForestIndex(
-            config, backend=backend, shards=shards, metrics=metrics
+            config,
+            backend=backend,
+            shards=shards,
+            metrics=metrics,
+            directory=directory,
         )
         forest.add_trees(collection, jobs=jobs)
         return cls(forest, **kwargs)  # type: ignore[arg-type]

@@ -31,7 +31,8 @@ class CompactPostings:
     """Frozen CSR-style array form of a forest's inverted lists."""
 
     __slots__ = (
-        "tree_ids", "sizes", "slots", "counts", "spans", "last_touched"
+        "tree_ids", "sizes", "slots", "counts", "spans",
+        "last_touched", "last_present",
     )
 
     def __init__(self, tree_ids, sizes, slots, counts, spans) -> None:
@@ -41,6 +42,7 @@ class CompactPostings:
         self.counts = counts                           # packed posting counts
         self.spans: Dict[Key, Tuple[int, int]] = spans  # key → [start, end)
         self.last_touched: int = 0  # posting entries read by the last sweep
+        self.last_present: int = 0  # query keys the last sweep found spans for
 
     @classmethod
     def build(
@@ -80,6 +82,34 @@ class CompactPostings:
             position += len(entry)
         return cls(tree_ids, size_array, slots, counts, spans)
 
+    def sweep_into(
+        self, query_items: Iterable[Tuple[Key, int]], acc
+    ) -> int:
+        """Accumulate the sweep into a caller-provided slot accumulator.
+
+        ``acc`` must be an int64 array of ``len(self.tree_ids)`` zeros
+        (or a partial accumulation over the *same* slot ordering — the
+        sharded fast path shares one accumulator across shards whose
+        tree-id lists are identical).  Returns the number of posting
+        entries touched; within one key every tree occurs at most once,
+        so the fancy-indexed add stays exact across chained calls.
+        """
+        spans = self.spans
+        slots, counts = self.slots, self.counts
+        touched = 0
+        present = 0
+        for key, query_count in query_items:
+            span = spans.get(key)
+            if span is None:
+                continue
+            start, end = span
+            present += 1
+            touched += end - start
+            acc[slots[start:end]] += _np.minimum(counts[start:end], query_count)
+        self.last_touched = touched
+        self.last_present = present
+        return touched
+
     def sweep(self, query_items: Iterable[Tuple[Key, int]]) -> Dict[int, int]:
         """Bag overlap of the query with every co-occurring tree.
 
@@ -88,17 +118,7 @@ class CompactPostings:
         same contents the reference dict sweep accumulates.
         """
         acc = _np.zeros(len(self.tree_ids), dtype=_np.int64)
-        spans = self.spans
-        slots, counts = self.slots, self.counts
-        touched = 0
-        for key, query_count in query_items:
-            span = spans.get(key)
-            if span is None:
-                continue
-            start, end = span
-            touched += end - start
-            acc[slots[start:end]] += _np.minimum(counts[start:end], query_count)
-        self.last_touched = touched
+        self.sweep_into(query_items, acc)
         tree_ids = self.tree_ids
         return {
             tree_ids[slot]: int(acc[slot]) for slot in _np.nonzero(acc)[0]

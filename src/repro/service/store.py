@@ -24,17 +24,31 @@ Commit protocol for ``apply_edits``:
 
 ``open`` recovers by loading the snapshot and replaying any WAL
 batches that were appended after it; half-written trailing batches
-(no COMMIT line — the crash window) are ignored.  The snapshot's
+(no COMMIT line — the crash window) are ignored.  For the in-memory
+backends (``memory``, ``compact``, ``sharded``) the snapshot's
 ``indexes`` relation is one backend ``snapshot()``/``restore()``
-round-trip: the store works identically over every forest backend
-(``memory``, ``compact``, ``sharded``), and the chosen backend is
-recorded in the snapshot so reopening preserves it.
+round-trip; the chosen backend is recorded in the snapshot so
+reopening preserves it.
+
+The ``segment`` backend is its own durable home: the index relation
+lives in memory-mapped segment files plus a tail delta log under
+``<directory>/segments/``, the snapshot carries *no* ``indexes``
+table, and reopening maps the frozen segment read-only instead of
+re-inverting the relation — O(tail), not O(index).  Each WAL batch
+carries a monotonically increasing commit sequence (persisted in the
+snapshot meta) that the backend stamps into its delta records, so
+recovery replays a batch into the forest only when the backend does
+not already hold it; corrupt or foreign segment files are detected
+(checksums + a store-identity fingerprint) and rebuilt from the
+recovered documents — slower, never wrong.
 """
 
 from __future__ import annotations
 
 import os
+import shutil
 import threading
+import uuid
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.concurrency.coalesce import PendingBatch, WriteCoalescer
@@ -44,7 +58,7 @@ from repro.core.index import PQGramIndex
 from repro.edits.ops import EditOperation
 from repro.edits.script import EditScript
 from repro.edits.serialize import format_operations, parse_operations
-from repro.errors import StorageError
+from repro.errors import SegmentCorruptError, StorageError
 from repro.lookup.forest import ForestIndex
 from repro.lookup.service import LookupResult, LookupService
 from repro.obsv.metrics import MetricsRegistry, resolve_registry
@@ -78,7 +92,7 @@ class DocumentStore:
         checkpoint_every: int = 16,
         engine: str = "replay",
         jobs: Optional[int] = None,
-        backend: str = "compact",
+        backend: Optional[str] = None,
         shards: Optional[int] = None,
         metrics: "Optional[MetricsRegistry | bool]" = None,
         serve_threads: int = 0,
@@ -102,16 +116,19 @@ class DocumentStore:
         self._metrics = resolve_registry(metrics)
         self._bind_instruments(self._metrics)
         # ``backend``/``shards`` choose the forest storage engine when
-        # the store is created; reopening an existing store reads the
+        # the store is created (``None`` defers to the
+        # ``REPRO_STORE_BACKEND`` environment variable, then
+        # ``"compact"``); reopening an existing store reads the
         # recorded choice from the snapshot instead.
-        self._forest = ForestIndex(
-            config or GramConfig(),
-            backend=backend,
-            shards=shards,
-            metrics=self._metrics,
-        )
+        if backend is None:
+            backend = os.environ.get("REPRO_STORE_BACKEND", "compact")
         self._service: Optional[LookupService] = None
         self._batches_since_checkpoint = 0
+        # Commit sequencing: every durably-applied WAL batch gets the
+        # next number; the snapshot meta records the high-water mark
+        # folded into it, so recovery can number the replayed tail.
+        self._commit_seq = 0
+        self._store_uuid = ""
         os.makedirs(directory, exist_ok=True)
         if os.path.exists(self._snapshot_path()):
             with (
@@ -120,6 +137,14 @@ class DocumentStore:
             ):
                 self._recover(default_backend=backend, default_shards=shards)
         else:
+            self._store_uuid = uuid.uuid4().hex
+            if backend == "segment":
+                # A fresh store must never adopt leftover segment files
+                # from an earlier store in the same directory.
+                shutil.rmtree(self._segment_directory(), ignore_errors=True)
+            self._forest = self._make_forest(
+                config or GramConfig(), backend, shards
+            )
             self._checkpoint()
         # Serving machinery starts only after recovery is complete, so
         # the appender and refreeze threads never see a half-recovered
@@ -173,6 +198,32 @@ class DocumentStore:
     def _wal_path(self) -> str:
         return os.path.join(self._directory, _WAL)
 
+    def _segment_directory(self) -> str:
+        return os.path.join(self._directory, "segments")
+
+    def _make_forest(
+        self,
+        config: GramConfig,
+        backend: str,
+        shards: Optional[int],
+    ) -> ForestIndex:
+        """A forest over ``backend``, homed under the store directory
+        (segment backends own ``<directory>/segments/``) and stamped
+        with this store's identity so reopened segment files can be
+        matched against the snapshot that references them."""
+        forest = ForestIndex(
+            config,
+            backend=backend,
+            shards=shards,
+            metrics=self._metrics,
+            directory=(
+                self._segment_directory() if backend == "segment" else None
+            ),
+        )
+        if backend == "segment":
+            forest.backend.set_source(self._store_uuid)  # type: ignore[attr-defined]
+        return forest
+
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
@@ -199,7 +250,8 @@ class DocumentStore:
 
     @property
     def backend_name(self) -> str:
-        """Name of the forest storage backend (memory/compact/sharded)."""
+        """Name of the forest storage backend
+        (memory/compact/sharded/segment)."""
         return self._forest.backend.name
 
     def document_ids(self) -> Iterator[int]:
@@ -299,6 +351,8 @@ class DocumentStore:
 
         with self._metrics.span("store.apply_edits"):
             self._append_wal(document_id, operations)
+            self._commit_seq += 1
+            self._forest.backend.note_commit_seq(self._commit_seq)
             log = EditScript(list(operations)).apply(document)
             # Incremental maintenance: the forest re-inverts only the
             # keys the edit batch actually changed.
@@ -353,10 +407,19 @@ class DocumentStore:
             self._append_wal_group(
                 [(pending.document_id, pending.operations) for pending in valid]
             )
+            # One commit sequence per WAL block, in append order; each
+            # document's single batched maintenance call is stamped with
+            # its *last* block — the folded delta covers every earlier
+            # one, so recovery may skip all of them together.
+            sequences: Dict[int, int] = {}
+            for pending in valid:
+                self._commit_seq += 1
+                sequences[pending.document_id] = self._commit_seq
             for document_id, shadow in shadows.items():
                 if document_id not in logs:
                     continue  # every batch for this document failed
                 self._documents[document_id] = shadow
+                self._forest.backend.note_commit_seq(sequences[document_id])
                 self._forest.update_tree(
                     document_id,
                     shadow,
@@ -482,6 +545,11 @@ class DocumentStore:
         if "shards" in backend_stats:
             stats["shards"] = backend_stats["shards"]
             stats["shard_postings"] = backend_stats["shard_postings"]
+        if "segments" in backend_stats:
+            stats["segments"] = backend_stats["segments"]
+            stats["segment_bytes"] = backend_stats["segment_bytes"]
+            stats["segment_generation"] = backend_stats["generation"]
+            stats["overlay_keys"] = backend_stats["overlay_keys"]
         return stats
 
     # ------------------------------------------------------------------
@@ -605,6 +673,8 @@ class DocumentStore:
         meta.insert({"key": "p", "value": str(self.config.p)})
         meta.insert({"key": "q", "value": str(self.config.q)})
         meta.insert({"key": "backend", "value": self._forest.backend.name})
+        meta.insert({"key": "store_uuid", "value": self._store_uuid})
+        meta.insert({"key": "commit_seq", "value": str(self._commit_seq)})
         if self._forest.backend.name == "sharded":
             meta.insert(
                 {
@@ -624,18 +694,29 @@ class DocumentStore:
                         "label": tree.label(node_id),
                     }
                 )
-        indexes = database.create_table(
-            "indexes", self._IDX_SCHEMA, ("treeId", "pqg")
-        )
-        # The index relation is exactly the backend's snapshot — one
-        # write path, serialized verbatim.  The shared scope keeps a
-        # concurrent background refreeze (an exclusive holder) from
-        # overlapping the read.
-        with self._forest.lock.read():
-            relation = self._forest.backend.snapshot()
-        for document_id, bag in relation.items():
-            for key, count in bag.items():
-                indexes.insert({"treeId": document_id, "pqg": key, "cnt": count})
+        if self._forest.backend.name == "segment":
+            # The segment backend is its own durable home: make its
+            # delta log (or a fresh sealed segment) durable instead of
+            # serializing the relation — the snapshot stays
+            # O(documents), and it must be durable *before* the WAL
+            # truncation below discards the batches it covers.
+            with self._forest.lock.write():
+                self._forest.backend.checkpoint()  # type: ignore[attr-defined]
+        else:
+            indexes = database.create_table(
+                "indexes", self._IDX_SCHEMA, ("treeId", "pqg")
+            )
+            # The index relation is exactly the backend's snapshot — one
+            # write path, serialized verbatim.  The shared scope keeps a
+            # concurrent background refreeze (an exclusive holder) from
+            # overlapping the read.
+            with self._forest.lock.read():
+                relation = self._forest.backend.snapshot()
+            for document_id, bag in relation.items():
+                for key, count in bag.items():
+                    indexes.insert(
+                        {"treeId": document_id, "pqg": key, "cnt": count}
+                    )
         database.save(self._snapshot_path())
         # The snapshot covers everything: truncate the WAL.
         with open(self._wal_path(), "w", encoding="utf-8") as handle:
@@ -658,12 +739,11 @@ class DocumentStore:
             shards = int(shards)
         elif backend == "sharded":
             shards = default_shards
-        self._forest = ForestIndex(
-            GramConfig(int(meta["p"]), int(meta["q"])),
-            backend=backend,
-            shards=shards,
-            metrics=self._metrics,
-        )
+        # Pre-identity snapshots get an identity minted now; the
+        # checkpoint at the end of recovery persists it.
+        self._store_uuid = meta.get("store_uuid") or uuid.uuid4().hex
+        self._commit_seq = int(meta.get("commit_seq", "0"))
+        config = GramConfig(int(meta["p"]), int(meta["q"]))
         self._documents = {}
         per_document: Dict[int, List[Dict[str, object]]] = {}
         for row in database.table("nodes").scan_dicts():
@@ -677,28 +757,136 @@ class DocumentStore:
                     row["parId"], row["label"], node_id=row["nodeId"]  # type: ignore[arg-type]
                 )
             self._documents[document_id] = tree
-        bags: Dict[int, Dict[tuple, int]] = {}
-        for row in database.table("indexes").scan_dicts():
-            bags.setdefault(row["treeId"], {})[row["pqg"]] = row["cnt"]
-        # One backend restore() round-trip rebuilds the whole relation
-        # (documents with empty bags included, keyed off the document
-        # table rather than the sparse index rows).
-        self._forest.backend.restore(
-            {
-                document_id: bags.get(document_id, {})
-                for document_id in self._documents
-            }
-        )
+        if backend == "segment":
+            rebuilt = self._recover_segment_forest(config)
+        else:
+            rebuilt = False
+            self._forest = ForestIndex(
+                config, backend=backend, shards=shards, metrics=self._metrics
+            )
+            bags: Dict[int, Dict[tuple, int]] = {}
+            for row in database.table("indexes").scan_dicts():
+                bags.setdefault(row["treeId"], {})[row["pqg"]] = row["cnt"]
+            # One backend restore() round-trip rebuilds the whole
+            # relation (documents with empty bags included, keyed off
+            # the document table rather than the sparse index rows).
+            self._forest.backend.restore(
+                {
+                    document_id: bags.get(document_id, {})
+                    for document_id in self._documents
+                }
+            )
         # Replay committed WAL batches appended after the snapshot.
+        # Blocks are numbered from the snapshot's commit high-water
+        # mark; documents always re-apply (the snapshot predates every
+        # surviving block), the forest only when the backend does not
+        # already hold the batch durably — a reopened segment backend's
+        # delta log typically covers the whole tail.
+        forest_backend = self._forest.backend
+        base = self._commit_seq
         replayed = 0
-        for document_id, operations in self._read_wal():
+        for offset, (document_id, operations) in enumerate(self._read_wal()):
+            seq = base + 1 + offset
             document = self._documents[document_id]
             log = EditScript(list(operations)).apply(document)
+            replayed += 1
+            if seq <= forest_backend.applied_seq(document_id):
+                continue
+            forest_backend.note_commit_seq(seq)
             self._forest.update_tree(
                 document_id, document, log, engine=self._engine, jobs=self._jobs
             )
-            replayed += 1
+        self._commit_seq = base + replayed
         self._m_wal_replayed.inc(replayed)
-        if replayed:
+        # The delta log can also run *ahead* of the durable WAL: a torn
+        # append discards the batch from the WAL but may leave its
+        # index delta behind, recovering documents to the pre-batch
+        # state while the index holds the post-batch bags.  Any tree
+        # folded past the replayed commit frontier carries state the
+        # store never committed — rebuild those bags from the recovered
+        # documents (the authority), and clamp the backend's sequence
+        # high-water mark so the next seal cannot advertise the
+        # rolled-back frontier.
+        ahead = [
+            tree_id
+            for tree_id in list(forest_backend.tree_ids())
+            if forest_backend.applied_seq(tree_id) > self._commit_seq
+        ]
+        if ahead:
+            forest_backend.note_commit_seq(self._commit_seq)
+            for tree_id in ahead:
+                self._forest.remove_tree(tree_id)
+            self._forest.add_trees(
+                [(tree_id, self._documents[tree_id]) for tree_id in ahead]
+            )
+            truncate = getattr(forest_backend, "truncate_seq_frontier", None)
+            if truncate is not None:
+                truncate(self._commit_seq)
+            rebuilt = True
+        if replayed or rebuilt:
             self._checkpoint()
         self._batches_since_checkpoint = 0
+
+    def _recover_segment_forest(self, config: GramConfig) -> bool:
+        """Reopen (or rebuild) the segment forest; True when anything
+        had to be rebuilt or reconciled.
+
+        The happy path maps the frozen segment and replays the tail
+        delta — O(tail).  Anything less than clean falls back to a
+        full rebuild from the recovered documents: corrupt segment
+        files (checksums, torn manifests) and segment directories
+        whose recorded source fingerprint is not this store's (files
+        copied from another store, or left by a deleted one).  Slower,
+        never wrong.
+        """
+        segment_dir = self._segment_directory()
+        forest: Optional[ForestIndex] = None
+        try:
+            forest = ForestIndex(
+                config,
+                backend="segment",
+                metrics=self._metrics,
+                directory=segment_dir,
+            )
+        except SegmentCorruptError:
+            shutil.rmtree(segment_dir, ignore_errors=True)
+        else:
+            if (
+                forest.backend.source_fingerprint()  # type: ignore[attr-defined]
+                != self._store_uuid
+            ):
+                forest.close()
+                forest = None
+                shutil.rmtree(segment_dir, ignore_errors=True)
+        if forest is None:
+            self._forest = self._make_forest(config, "segment", None)
+            self._forest.backend.note_commit_seq(self._commit_seq)
+            self._forest.add_trees(list(self._documents.items()))
+            return True
+        self._forest = forest
+        forest.backend.set_source(self._store_uuid)  # type: ignore[attr-defined]
+        # Membership reconcile: around a crash the delta log can run a
+        # hair ahead of the document snapshot (an add or remove whose
+        # checkpoint never landed).  The document table is the
+        # authority on membership; bag *contents* are reconciled by the
+        # sequence-gated WAL replay that follows.
+        reconciled = False
+        for tree_id in list(forest.backend.tree_ids()):
+            if tree_id not in self._documents:
+                forest.remove_tree(tree_id)
+                reconciled = True
+        missing = [
+            document_id
+            for document_id in self._documents
+            if document_id not in forest.backend
+        ]
+        if missing:
+            forest.backend.note_commit_seq(self._commit_seq)
+            forest.add_trees(
+                [
+                    (document_id, self._documents[document_id])
+                    for document_id in missing
+                ]
+            )
+            reconciled = True
+        return reconciled

@@ -1,8 +1,9 @@
 """Backend conformance suite: every backend ≡ MemoryBackend, bit for bit.
 
-One write path (`ForestBackend`) with three engines — memory, compact
-(array snapshot + delta overlay) and sharded (fingerprint-partitioned
-fan-out) — must be indistinguishable on every read: lookups at any τ,
+One write path (`ForestBackend`) with four engines — memory, compact
+(array snapshot + delta overlay), sharded (fingerprint-partitioned
+fan-out) and segment (memory-mapped on-disk segments + delta log) —
+must be indistinguishable on every read: lookups at any τ,
 per-tree indexes, inverted lists, maintenance through both engines,
 and persistence round-trips (forest snapshots and relstore
 snapshot/WAL recovery).  These tests drive identical workloads through
@@ -30,12 +31,14 @@ TAUS = (0.2, 0.5, 1.0)
 CONFIG = GramConfig(2, 3)
 
 # (spec name, forest kwargs) — sharded twice to cover the single-shard
-# degenerate case and a real fan-out.
+# degenerate case and a real fan-out; segment runs over an ephemeral
+# temp directory (DocumentStore tests home it under the store dir).
 BACKENDS = [
     ("memory", {"backend": "memory"}),
     ("compact", {"backend": "compact"}),
     ("sharded-1", {"backend": "sharded", "shards": 1}),
     ("sharded-4", {"backend": "sharded", "shards": 4}),
+    ("segment", {"backend": "segment"}),
 ]
 BACKEND_IDS = [name for name, _ in BACKENDS]
 ENGINES = ("replay", "batch")
@@ -360,13 +363,26 @@ class TestCompactOverlayStaleness:
         assert forest.backend._frozen is None
         assert_equivalent(forest, reference)
 
-    def test_every_builtin_backend_kind(self):
+    def test_every_builtin_backend_kind(self, tmp_path):
+        from repro.backend import SegmentBackend
+
         assert isinstance(make_backend("memory"), MemoryBackend)
         assert isinstance(make_backend("compact"), CompactBackend)
         sharded = make_backend("sharded", shards=3)
         assert isinstance(sharded, ShardedBackend)
         assert len(sharded.shards) == 3
+        segment = make_backend("segment", directory=str(tmp_path / "seg"))
+        assert isinstance(segment, SegmentBackend)
+        assert not segment.ephemeral
+        segment.close()
+        ephemeral = make_backend("segment")
+        assert ephemeral.ephemeral
+        ephemeral.close()
         with pytest.raises(ValueError):
             make_backend("mmap")
         with pytest.raises(ValueError):
             make_backend("memory", shards=2)
+        with pytest.raises(ValueError):
+            make_backend("compact", directory=str(tmp_path / "x"))
+        with pytest.raises(ValueError):
+            make_backend(MemoryBackend(), directory=str(tmp_path / "y"))

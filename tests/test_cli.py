@@ -154,6 +154,7 @@ class TestStoreCommands:
         on-disk corruption cannot survive recovery's rebuild, so the
         check is forced to fail here.)"""
         from repro.backend.compact import CompactBackend
+        from repro.backend.segment import SegmentBackend
         from repro.errors import IndexConsistencyError
 
         old_path, _ = xml_files
@@ -164,7 +165,10 @@ class TestStoreCommands:
         def broken(self):
             raise IndexConsistencyError("planted drift")
 
+        # Plant the failure on whichever backend the store may be
+        # running (REPRO_STORE_BACKEND picks the default).
         monkeypatch.setattr(CompactBackend, "check_consistency", broken)
+        monkeypatch.setattr(SegmentBackend, "check_consistency", broken)
         assert main(["store", "--dir", store_dir, "verify"]) == 1
         output = capsys.readouterr().out
         assert "doc 1\tok" in output
