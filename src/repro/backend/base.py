@@ -303,6 +303,7 @@ def make_backend(
     spec: "str | ForestBackend",
     shards: Optional[int] = None,
     directory: Optional[str] = None,
+    compress: Optional[bool] = None,
 ) -> ForestBackend:
     """Resolve a backend spec: an instance (passed through), or one of
     the registered names ``memory`` / ``compact`` / ``sharded`` /
@@ -311,7 +312,10 @@ def make_backend(
     ``shards`` is only meaningful with ``sharded`` (default 4 there)
     and ``directory`` only with ``segment`` (an ephemeral temp dir
     there by default); passing either with any other spec is an error —
-    it would silently do nothing otherwise.
+    it would silently do nothing otherwise.  ``compress`` forces the
+    succinct storage layer on or off for any named backend (``None``
+    defers to ``REPRO_COMPRESS``, see
+    :func:`repro.compress.compression_enabled`).
     """
     from repro.backend.compact import CompactBackend
     from repro.backend.memory import MemoryBackend
@@ -327,21 +331,27 @@ def make_backend(
             raise ValueError(
                 "directory= cannot be combined with a backend instance"
             )
+        if compress is not None:
+            raise ValueError(
+                "compress= cannot be combined with a backend instance"
+            )
         return spec
     if directory is not None and spec != "segment":
         raise ValueError(
             f"directory= is only valid with the segment backend, not {spec!r}"
         )
     if spec == "sharded":
-        return ShardedBackend(shards if shards is not None else 4)
+        return ShardedBackend(
+            shards if shards is not None else 4, compress=compress
+        )
     if shards is not None:
         raise ValueError(f"shards= is only valid with the sharded backend, not {spec!r}")
     if spec == "memory":
-        return MemoryBackend()
+        return MemoryBackend(compress=compress)
     if spec == "compact":
-        return CompactBackend()
+        return CompactBackend(compress=compress)
     if spec == "segment":
-        return SegmentBackend(directory)
+        return SegmentBackend(directory, compress=compress)
     raise ValueError(
         f"unknown forest backend {spec!r} "
         "(expected memory, compact, sharded or segment)"

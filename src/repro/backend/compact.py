@@ -47,12 +47,12 @@ class CompactBackend(MemoryBackend):
     #: freeze; explicit :meth:`compact` calls are *not* debounced.
     REFREEZE_MIN_MUTATION_GAP = 64
 
-    def __init__(self) -> None:
-        self._frozen = None  # CompactPostings or None
+    def __init__(self, compress: Optional[bool] = None) -> None:
+        self._frozen = None  # CompactPostings / CompressedPostings / None
         self._dirty: Set[Key] = set()
         self._mutations = 0
         self._mutations_at_freeze = 0
-        super().__init__()
+        super().__init__(compress=compress)
 
     def _bind_instruments(self, registry: MetricsRegistry) -> None:
         super()._bind_instruments(registry)
@@ -117,12 +117,19 @@ class CompactBackend(MemoryBackend):
         if not HAVE_NUMPY:
             return
         if self._stale():
-            from repro.perf.sweep import CompactPostings
-
             with self._m_refreeze_seconds.time():
-                self._frozen = CompactPostings.build(
-                    self._inverted, self._sizes
-                )
+                if self._compress:
+                    from repro.compress.frozen import CompressedPostings
+
+                    self._frozen = CompressedPostings.build(
+                        self._inverted, self._sizes, self._pool
+                    )
+                else:
+                    from repro.perf.sweep import CompactPostings
+
+                    self._frozen = CompactPostings.build(
+                        self._inverted, self._sizes
+                    )
             self._dirty.clear()
             self._mutations_at_freeze = self._mutations
             self._m_refreezes.inc()
@@ -241,12 +248,32 @@ class CompactBackend(MemoryBackend):
         return stats
 
     def check_consistency(self) -> None:
+        from repro.compress.frozen import CompressedPostings
+
         super().check_consistency()
         frozen = self._frozen
         if frozen is None:
             return
         # Every clean key's frozen posting list must match the live
         # dicts exactly — i.e. no mutation escaped the dirty set.
+        if isinstance(frozen, CompressedPostings):
+            frozen_keys = set(frozen.key_list or ())
+            for key, stored in frozen.iter_key_postings():
+                if key in self._dirty:
+                    continue
+                if stored != self._inverted.get(key, {}):
+                    raise IndexConsistencyError(
+                        f"compressed postings of clean key {key} drifted "
+                        "from the live inverted lists (a mutation escaped "
+                        "the overlay)"
+                    )
+            for key in self._inverted:
+                if key not in frozen_keys and key not in self._dirty:
+                    raise IndexConsistencyError(
+                        f"key {key} is missing from the compressed snapshot "
+                        "but was never marked dirty"
+                    )
+            return
         for key, (start, end) in frozen.spans.items():
             if key in self._dirty:
                 continue

@@ -1,0 +1,72 @@
+"""Succinct structural index: dedup, interning, varint postings.
+
+Three cooperating layers, all gated behind one switch:
+
+* :mod:`repro.compress.dedup` — forest-wide subtree dedup table; trees
+  with equal structural fingerprints share one ref-counted bag.
+* :mod:`repro.compress.intern` — canonical pq-gram key tuples, dense
+  ids, memoized Karp–Rabin fingerprints.
+* :mod:`repro.compress.varint` / :mod:`repro.compress.frozen` — block
+  varint codec and the delta-compressed CSR postings it produces.
+
+The switch: pass ``compress=True`` to a backend / ``ForestIndex`` /
+``DocumentStore``, or set ``REPRO_COMPRESS=1`` in the environment to
+flip the default.  Compression needs numpy for its vectorized decode;
+without it :func:`compression_enabled` reports ``False`` regardless.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.compress.dedup import DedupTable, SharedBag, release_if_shared
+from repro.compress.frozen import CompressedPostings
+from repro.compress.intern import (
+    InternPool,
+    default_pool,
+    intern_bag,
+)
+from repro.compress.varint import (
+    BLOCK,
+    PackedIntArray,
+    delta_decode_span,
+    delta_encode_span,
+)
+from repro.perf.arraybag import HAVE_NUMPY
+
+__all__ = [
+    "BLOCK",
+    "CompressedPostings",
+    "DedupTable",
+    "InternPool",
+    "PackedIntArray",
+    "SharedBag",
+    "compression_enabled",
+    "default_pool",
+    "delta_decode_span",
+    "delta_encode_span",
+    "intern_bag",
+    "release_if_shared",
+]
+
+#: environment switch flipping the compression default on
+ENV_FLAG = "REPRO_COMPRESS"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def compression_enabled(explicit: Optional[bool] = None) -> bool:
+    """Resolve the compression switch for one component.
+
+    ``explicit`` (a constructor's ``compress=`` argument) wins when
+    given; otherwise the :data:`ENV_FLAG` environment variable decides.
+    Always ``False`` without numpy — the succinct structures exist for
+    their vectorized decode, and the pure-python fallback sweep reads
+    plain dicts anyway.
+    """
+    if not HAVE_NUMPY:
+        return False
+    if explicit is not None:
+        return bool(explicit)
+    return os.environ.get(ENV_FLAG, "").strip().lower() in _TRUTHY

@@ -1,0 +1,211 @@
+"""Label-tuple / pq-gram key interning.
+
+Every tree's bag re-materializes its key tuples during construction,
+so a 10k-tree forest holds hundreds of thousands of *equal but
+distinct* tuple objects — per-tuple header, per-slot pointers, boxed
+ints, all duplicated.  The :class:`InternPool` keeps one canonical
+object per distinct key: backends intern at their storage boundary, so
+bags and inverted lists reference the same tuples, and equal keys
+across trees cost one object.
+
+The pool also assigns each key a dense int32 id (the reference the
+segment-v2 bag tables store instead of tuples) and memoizes each key's
+combined Karp–Rabin fingerprint — the value
+:class:`~repro.compress.frozen.CompressedPostings` probes its sorted
+key array with, hoisting the per-part modular fold out of every sweep.
+
+One process-wide default pool is shared by everything running with
+``REPRO_COMPRESS`` on: interning is only effective when writers agree
+on the canonical objects.  All operations are single-dict reads or
+``setdefault`` calls, which CPython makes atomic — safe under the
+concurrent writers the sharded backend allows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.hashing.fingerprint import (
+    DEFAULT_BASE,
+    DEFAULT_PRIME,
+    combine_fingerprints,
+)
+from repro.perf.arraybag import HAVE_NUMPY
+
+if HAVE_NUMPY:
+    import numpy as _np
+
+Key = Tuple[int, ...]
+
+#: the per-part multiplier of :func:`combine_fingerprints`
+_MULT = pow(DEFAULT_BASE, 8, DEFAULT_PRIME)
+
+
+if HAVE_NUMPY:
+    # uint64 constants once — mixing python ints into uint64 arithmetic
+    # promotes to float64 on older numpy and loses exactness.
+    _U_P = _np.uint64(DEFAULT_PRIME)
+    _U_M_HI = _np.uint64(_MULT >> 32)
+    _U_M_LO = _np.uint64(_MULT & 0xFFFFFFFF)
+    _U_MASK32 = _np.uint64(0xFFFFFFFF)
+    _U_MASK29 = _np.uint64((1 << 29) - 1)
+    _U_1 = _np.uint64(1)
+    _U_3 = _np.uint64(3)
+    _U_29 = _np.uint64(29)
+    _U_32 = _np.uint64(32)
+    _U_61 = _np.uint64(61)
+
+    def _reduce61(values):
+        """``x mod (2**61 - 1)`` for ``x < 2**63`` — two shift-adds
+        (``2**61 ≡ 1``) and one conditional subtract."""
+        values = (values >> _U_61) + (values & _U_P)
+        values = (values >> _U_61) + (values & _U_P)
+        return _np.where(values >= _U_P, values - _U_P, values)
+
+    def _combine_matrix(matrix):
+        """Vectorized :func:`combine_fingerprints` over the rows of a
+        ``(n, width)`` uint64 matrix.
+
+        The fold multiplies a 61-bit accumulator by the constant
+        multiplier each step; the 122-bit product is formed exactly
+        from 32-bit limb products (each fits uint64) and reduced with
+        the Mersenne identity ``2**61 ≡ 1`` — no Python-int round trip.
+        """
+        acc = _np.zeros(len(matrix), dtype=_np.uint64)
+        for column in range(matrix.shape[1]):
+            part = matrix[:, column]
+            part = (part >> _U_61) + (part & _U_P)
+            acc_hi = acc >> _U_32              # < 2**29
+            acc_lo = acc & _U_MASK32
+            low = acc_lo * _U_M_LO             # < 2**64
+            mid = acc_lo * _U_M_HI + acc_hi * _U_M_LO   # < 2**62
+            high = acc_hi * _U_M_HI            # < 2**58
+            # acc*M = high*2**64 + mid*2**32 + low; 2**64 ≡ 8,
+            # mid*2**32 ≡ (mid >> 29) + ((mid & mask29) << 32).
+            total = (
+                (high << _U_3)
+                + (mid >> _U_29)
+                + ((mid & _U_MASK29) << _U_32)
+                + (low >> _U_61)
+                + (low & _U_P)
+                + part
+                + _U_1
+            )
+            acc = _reduce61(total)
+        return acc
+
+
+class InternPool:
+    """Canonical key tuples, dense ids, and memoized fingerprints."""
+
+    __slots__ = ("_canon", "_ids", "_keys", "_fps")
+
+    def __init__(self) -> None:
+        self._canon: Dict[Key, Key] = {}
+        self._ids: Dict[Key, int] = {}
+        self._keys: List[Key] = []
+        self._fps: Dict[Key, int] = {}
+
+    def intern(self, key: Key) -> Key:
+        """The canonical object equal to ``key`` (registering it)."""
+        return self._canon.setdefault(key, key)
+
+    def id_of(self, key: Key) -> int:
+        """Dense int32 id of ``key`` (assigned at first sight)."""
+        key = self.intern(key)
+        ident = self._ids.get(key)
+        if ident is None:
+            ident = self._ids.setdefault(key, len(self._keys))
+            if ident == len(self._keys):
+                self._keys.append(key)
+        return ident
+
+    def key_of(self, ident: int) -> Key:
+        """Inverse of :meth:`id_of`."""
+        return self._keys[ident]
+
+    def fingerprint(self, key: Key) -> int:
+        """Memoized ``combine_fingerprints(key)`` — the sweep-side
+        probe value for compressed posting arrays."""
+        fingerprint = self._fps.get(key)
+        if fingerprint is None:
+            fingerprint = self._fps.setdefault(
+                key, combine_fingerprints(key)
+            )
+        return fingerprint
+
+    def fingerprints(self, keys: Sequence[Key]):
+        """Fingerprints of many keys at once, as a uint64 array.
+
+        Bit-identical to mapping :meth:`fingerprint`, but the modular
+        fold runs as a handful of vector ops per tuple position instead
+        of a Python loop per key — the difference between a cold freeze
+        paying microseconds and milliseconds per thousand keys.  Keys
+        of mixed width are grouped by length; results land in input
+        order and are memoized for the scalar path.
+        """
+        if not HAVE_NUMPY:  # pragma: no cover - guarded by callers
+            raise RuntimeError("batch fingerprints require numpy")
+        out = _np.empty(len(keys), dtype=_np.uint64)
+        by_width: Dict[int, List[int]] = {}
+        for position, key in enumerate(keys):
+            by_width.setdefault(len(key), []).append(position)
+        memo = self._fps
+        for width, positions in by_width.items():
+            if width == 0:
+                for position in positions:
+                    out[position] = self.fingerprint(keys[position])
+                continue
+            try:
+                matrix = _np.fromiter(
+                    (
+                        part
+                        for position in positions
+                        for part in keys[position]
+                    ),
+                    dtype=_np.uint64,
+                    count=len(positions) * width,
+                ).reshape(len(positions), width)
+            except (OverflowError, ValueError):
+                # parts outside uint64 (never true of label hashes, but
+                # the pool accepts any int tuple) — scalar fold instead
+                for position in positions:
+                    out[position] = self.fingerprint(keys[position])
+                continue
+            values = _combine_matrix(matrix)
+            out[positions] = values
+            for position, value in zip(positions, values.tolist()):
+                memo.setdefault(keys[position], value)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._canon)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "interned_keys": len(self._canon),
+            "assigned_ids": len(self._keys),
+            "memoized_fingerprints": len(self._fps),
+        }
+
+
+_DEFAULT_POOL = InternPool()
+
+
+def default_pool() -> InternPool:
+    """The process-wide pool every compressed backend shares."""
+    return _DEFAULT_POOL
+
+
+def _reset_default_pool() -> InternPool:
+    """Replace the process pool (tests measuring pool growth only)."""
+    global _DEFAULT_POOL
+    _DEFAULT_POOL = InternPool()
+    return _DEFAULT_POOL
+
+
+def intern_bag(bag, pool: Optional[InternPool] = None):
+    """``{intern(key): count}`` — the storage-boundary normalization."""
+    pool = pool or _DEFAULT_POOL
+    intern = pool.intern
+    return {intern(key): count for key, count in bag.items()}

@@ -17,6 +17,8 @@ import threading
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.backend.base import Bag, ForestBackend, Key, make_backend
+from repro.compress import compression_enabled, default_pool
+from repro.compress.dedup import DedupTable
 from repro.concurrency.rwlock import ReadWriteLock
 from repro.concurrency.snapshot import SnapshotHandle
 from repro.core.config import GramConfig
@@ -51,10 +53,24 @@ class ForestIndex:
         shards: Optional[int] = None,
         metrics: "Optional[MetricsRegistry | bool]" = None,
         directory: Optional[str] = None,
+        compress: Optional[bool] = None,
     ) -> None:
         self.config = config or GramConfig()
         self.hasher = LabelHasher()
-        self._backend = make_backend(backend, shards=shards, directory=directory)
+        self._backend = make_backend(
+            backend,
+            shards=shards,
+            directory=directory,
+            compress=compress if not isinstance(backend, ForestBackend) else None,
+        )
+        # The succinct layer: with compression on, structurally equal
+        # trees share one ref-counted bag through the dedup table
+        # (add_tree consults it; backends release references as trees
+        # leave), and every stored key is interned in the shared pool.
+        self._compress = compression_enabled(compress)
+        self._dedup: Optional[DedupTable] = (
+            DedupTable() if self._compress else None
+        )
         self.metrics = resolve_registry(metrics)
         self._backend.bind_metrics(self.metrics)
         self._bind_instruments(self.metrics)
@@ -90,6 +106,11 @@ class ForestIndex:
         self._m_matches = registry.counter(
             "lookup_matches_total",
             "trees returned under the tau threshold",
+        )
+        self._m_dedup_hits = registry.counter(
+            "dedup_hits_total",
+            "tree adds served an already-built shared bag by the "
+            "structural dedup table",
         )
         self._m_maintain_batches = {
             engine: registry.counter(
@@ -142,6 +163,11 @@ class ForestIndex:
     def backend(self) -> ForestBackend:
         """The storage backend holding the index relation."""
         return self._backend
+
+    @property
+    def dedup(self) -> Optional[DedupTable]:
+        """The structural dedup table (None without compression)."""
+        return self._dedup
 
     # ------------------------------------------------------------------
     # concurrency: generations and published read views
@@ -249,16 +275,50 @@ class ForestIndex:
                 "posting entries stored per shard",
                 shard=index,
             ).set(int(postings))
+        if self._dedup is not None:
+            dedup_stats = self._dedup.stats()
+            registry.gauge(
+                "dedup_entries",
+                "distinct shared bags held by the structural dedup table",
+            ).set(dedup_stats["entries"])
+            registry.gauge(
+                "dedup_shared_refs",
+                "live tree references onto shared bags",
+            ).set(dedup_stats["shared_refs"])
+            registry.gauge(
+                "intern_pool_size",
+                "distinct pq-gram key tuples interned in the shared pool",
+            ).set(len(default_pool()))
 
     # ------------------------------------------------------------------
     # building and maintaining
     # ------------------------------------------------------------------
 
+    def _build_bag(self, tree: Tree):
+        """The bag to hand ``add_tree_bag`` — freshly built, or (with
+        compression on) one shared reference from the dedup table when
+        an identical structure is already indexed."""
+        if self._dedup is None:
+            return dict(
+                PQGramIndex.from_tree(tree, self.config, self.hasher).items()
+            )
+        from repro.tree.fingerprint import tree_fingerprint
+
+        bag, hit = self._dedup.acquire(
+            tree_fingerprint(tree),
+            lambda: dict(
+                PQGramIndex.from_tree(tree, self.config, self.hasher).items()
+            ),
+        )
+        if hit:
+            self._m_dedup_hits.inc()
+        return bag
+
     def add_tree(self, tree_id: int, tree: Tree) -> None:
         """Index a new tree of the forest."""
-        index = PQGramIndex.from_tree(tree, self.config, self.hasher)
+        bag = self._build_bag(tree)
         with self._write_scope():
-            self._backend.add_tree_bag(tree_id, dict(index.items()))
+            self._backend.add_tree_bag(tree_id, bag)
             self._bump_generation()
 
     def add_trees(
@@ -275,6 +335,12 @@ class ForestIndex:
         label memos back into this forest's hasher; ``jobs`` of None or
         1 runs the plain serial loop.  Results are identical either
         way.
+
+        With compression on, the batch is grouped by structural
+        fingerprint first: one bag is built per *distinct* structure
+        (serially or across workers) and every duplicate tree acquires
+        a shared reference from the dedup table — a corpus of repeated
+        fragments costs one bag construction per fragment shape.
         """
         items = list(items)
         seen: set = set()
@@ -282,6 +348,9 @@ class ForestIndex:
             if tree_id in self._backend or tree_id in seen:
                 raise StorageError(f"tree id {tree_id} is already indexed")
             seen.add(tree_id)
+        if self._dedup is not None and items:
+            self._add_trees_dedup(items, jobs)
+            return
         if jobs is not None and jobs > 1 and len(items) > 1:
             from repro.perf.parallel import build_bags_parallel
 
@@ -294,6 +363,63 @@ class ForestIndex:
         else:
             for tree_id, tree in items:
                 self.add_tree(tree_id, tree)
+
+    def _add_trees_dedup(
+        self, items: List[Tuple[int, Tree]], jobs: Optional[int]
+    ) -> None:
+        """Batch add with one bag build per distinct tree structure."""
+        from repro.tree.fingerprint import tree_fingerprint
+
+        assert self._dedup is not None
+        stamped = [
+            (tree_id, tree, tree_fingerprint(tree)) for tree_id, tree in items
+        ]
+        representatives: Dict[int, Tree] = {}
+        for _, tree, fingerprint in stamped:
+            if fingerprint not in self._dedup and (
+                fingerprint not in representatives
+            ):
+                representatives[fingerprint] = tree
+        if jobs is not None and jobs > 1 and len(representatives) > 1:
+            from repro.perf.parallel import build_bags_parallel
+
+            bags, memo = build_bags_parallel(
+                list(representatives.items()), self.config, jobs
+            )
+            self.hasher.absorb_memo(memo)
+            built: Dict[int, Bag] = dict(bags)
+        else:
+            built = {
+                fingerprint: dict(
+                    PQGramIndex.from_tree(
+                        tree, self.config, self.hasher
+                    ).items()
+                )
+                for fingerprint, tree in representatives.items()
+            }
+
+        def builder(fingerprint: int, tree: Tree):
+            bag = built.get(fingerprint)
+            if bag is None:  # entry evicted since the pre-scan: rebuild
+                bag = dict(
+                    PQGramIndex.from_tree(
+                        tree, self.config, self.hasher
+                    ).items()
+                )
+            return bag
+
+        with self._write_scope():
+            for tree_id, tree, fingerprint in stamped:
+                bag, hit = self._dedup.acquire(
+                    fingerprint,
+                    lambda fingerprint=fingerprint, tree=tree: builder(
+                        fingerprint, tree
+                    ),
+                )
+                if hit:
+                    self._m_dedup_hits.inc()
+                self._backend.add_tree_bag(tree_id, bag)
+            self._bump_generation()
 
     def remove_tree(self, tree_id: int) -> None:
         """Drop a tree from the forest index."""

@@ -96,6 +96,7 @@ class DocumentStore:
         shards: Optional[int] = None,
         metrics: "Optional[MetricsRegistry | bool]" = None,
         serve_threads: int = 0,
+        compress: Optional[bool] = None,
     ) -> None:
         if engine not in ("replay", "batch"):
             raise StorageError(f"unknown maintenance engine {engine!r}")
@@ -122,6 +123,13 @@ class DocumentStore:
         # recorded choice from the snapshot instead.
         if backend is None:
             backend = os.environ.get("REPRO_STORE_BACKEND", "compact")
+        # ``compress`` resolves once at creation (explicit arg, then
+        # ``REPRO_COMPRESS``) and is recorded in the snapshot meta, so
+        # a store reopened under a different environment keeps the
+        # representation it was created with.
+        from repro.compress import compression_enabled
+
+        self._compress = compression_enabled(compress)
         self._service: Optional[LookupService] = None
         self._batches_since_checkpoint = 0
         # Commit sequencing: every durably-applied WAL batch gets the
@@ -219,6 +227,7 @@ class DocumentStore:
             directory=(
                 self._segment_directory() if backend == "segment" else None
             ),
+            compress=self._compress,
         )
         if backend == "segment":
             forest.backend.set_source(self._store_uuid)  # type: ignore[attr-defined]
@@ -534,6 +543,7 @@ class DocumentStore:
             "pq_grams": gram_count,
             "engine": self._engine,
             "serving": self._serving,
+            "compress": self._compress,
             "backend": backend_stats["backend"],
             "postings": backend_stats["postings"],
             "hasher_labels": hasher_stats["labels"],
@@ -675,6 +685,9 @@ class DocumentStore:
         meta.insert({"key": "backend", "value": self._forest.backend.name})
         meta.insert({"key": "store_uuid", "value": self._store_uuid})
         meta.insert({"key": "commit_seq", "value": str(self._commit_seq)})
+        meta.insert(
+            {"key": "compress", "value": "1" if self._compress else "0"}
+        )
         if self._forest.backend.name == "sharded":
             meta.insert(
                 {
@@ -743,6 +756,9 @@ class DocumentStore:
         # checkpoint at the end of recovery persists it.
         self._store_uuid = meta.get("store_uuid") or uuid.uuid4().hex
         self._commit_seq = int(meta.get("commit_seq", "0"))
+        recorded_compress = meta.get("compress")
+        if recorded_compress is not None:
+            self._compress = recorded_compress == "1"
         config = GramConfig(int(meta["p"]), int(meta["q"]))
         self._documents = {}
         per_document: Dict[int, List[Dict[str, object]]] = {}
@@ -762,7 +778,11 @@ class DocumentStore:
         else:
             rebuilt = False
             self._forest = ForestIndex(
-                config, backend=backend, shards=shards, metrics=self._metrics
+                config,
+                backend=backend,
+                shards=shards,
+                metrics=self._metrics,
+                compress=self._compress,
             )
             bags: Dict[int, Dict[tuple, int]] = {}
             for row in database.table("indexes").scan_dicts():
@@ -847,6 +867,7 @@ class DocumentStore:
                 backend="segment",
                 metrics=self._metrics,
                 directory=segment_dir,
+                compress=self._compress,
             )
         except SegmentCorruptError:
             shutil.rmtree(segment_dir, ignore_errors=True)

@@ -4,14 +4,25 @@
 label and the ordered fingerprints of its children, so two subtrees
 get equal fingerprints iff their label structures are identical (up to
 hash collisions).  The tree diff uses these to match unchanged
-subtrees in O(1).
+subtrees in O(1), and the structural dedup table
+(:mod:`repro.compress.dedup`) files shared pq-gram bags under them.
 
 The mixer is BLAKE2b rather than Karp–Rabin: the Karp–Rabin fold is
-*linear*, which creates systematic collisions when child fingerprints
-are folded as single digits (e.g. ``a(b)`` and ``b(a)`` collide
-algebraically).  A cryptographic mix has no such structure, and the
-label fingerprints of the pq-gram index itself are unaffected — they
-hash flat strings, where Karp–Rabin's guarantee applies.
+*linear*, so any scheme that folds child fingerprints as single digits
+of a polynomial inherits algebraic collisions — swapping two children
+(``a(b, c)`` vs ``a(c, b)``) only permutes the digits of a linear
+combination, and an additive fold collides outright.  A cryptographic
+mix has no such structure; the regression tests in
+``tests/test_tree_fingerprint.py`` pin the exact families a linear
+fold would conflate.  The label fingerprints of the pq-gram index
+itself are unaffected — they hash flat strings, where Karp–Rabin's
+guarantee applies.
+
+Digests are 128-bit: the dedup table *shares bags* between
+equal-fingerprint trees, so a collision there silently corrupts
+lookups rather than merely slowing a diff.  At 64 bits a
+billion-subtree corpus has birthday collision odds near 3%; at 128
+bits the odds are negligible for any feasible corpus.
 """
 
 from __future__ import annotations
@@ -23,14 +34,17 @@ from typing import Dict
 from repro.tree.traversal import postorder
 from repro.tree.tree import Tree
 
+#: fingerprint width in bytes (128-bit digests)
+DIGEST_SIZE = 16
+
 
 def _mix(label: str, child_digests: list[int]) -> int:
-    state = hashlib.blake2b(digest_size=8)
+    state = hashlib.blake2b(digest_size=DIGEST_SIZE)
     raw = label.encode("utf-8")
     state.update(struct.pack("<I", len(raw)))
     state.update(raw)
     for digest in child_digests:
-        state.update(struct.pack("<Q", digest))
+        state.update(digest.to_bytes(DIGEST_SIZE, "little"))
     return int.from_bytes(state.digest(), "little")
 
 

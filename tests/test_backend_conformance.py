@@ -33,12 +33,19 @@ CONFIG = GramConfig(2, 3)
 # (spec name, forest kwargs) — sharded twice to cover the single-shard
 # degenerate case and a real fan-out; segment runs over an ephemeral
 # temp directory (DocumentStore tests home it under the store dir).
+# The ``-z`` rows run the same engines with the succinct layer on
+# (subtree dedup + interned bags + varint frozen postings): compression
+# must be invisible on every read path, bit for bit.
 BACKENDS = [
     ("memory", {"backend": "memory"}),
     ("compact", {"backend": "compact"}),
     ("sharded-1", {"backend": "sharded", "shards": 1}),
     ("sharded-4", {"backend": "sharded", "shards": 4}),
     ("segment", {"backend": "segment"}),
+    ("memory-z", {"backend": "memory", "compress": True}),
+    ("compact-z", {"backend": "compact", "compress": True}),
+    ("sharded-4z", {"backend": "sharded", "shards": 4, "compress": True}),
+    ("segment-z", {"backend": "segment", "compress": True}),
 ]
 BACKEND_IDS = [name for name, _ in BACKENDS]
 ENGINES = ("replay", "batch")
@@ -140,7 +147,11 @@ class TestBackendConformance:
         forest.add_trees(collection)
         reference.add_trees(collection)
         # Direct backend round-trip into a fresh backend of the same kind.
-        twin = make_backend(kwargs["backend"], shards=kwargs.get("shards"))
+        twin = make_backend(
+            kwargs["backend"],
+            shards=kwargs.get("shards"),
+            compress=kwargs.get("compress"),
+        )
         twin.restore(forest.backend.snapshot())
         assert twin.snapshot() == forest.backend.snapshot()
         twin.check_consistency()

@@ -186,11 +186,17 @@ class TestCompactPostings:
         forest.compact()
         compact = forest.backend._frozen
         assert len(compact.tree_ids) == len(forest)
-        assert len(compact.slots) == len(compact.counts)
         total_postings = sum(
             len(postings) for _, postings in forest.iter_postings()
         )
-        assert len(compact.slots) == total_postings
+        if hasattr(compact, "entry_count"):  # CompressedPostings frozen
+            assert compact.entry_count == total_postings
+            assert compact.n_spans == sum(
+                1 for _ in forest.iter_postings()
+            )
+        else:
+            assert len(compact.slots) == len(compact.counts)
+            assert len(compact.slots) == total_postings
 
 
 class TestParallelBuild:

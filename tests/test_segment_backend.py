@@ -19,12 +19,17 @@ import pytest
 
 from repro.backend.memory import MemoryBackend
 from repro.backend.segment import (
+    _HEADER2_SIZE,
     _HEADER_SIZE,
     MANIFEST_NAME,
     SegmentBackend,
+    _open_segment,
     _Segment,
+    _SegmentV2,
     write_segment_file,
+    write_segment_file_v2,
 )
+from repro.perf.arraybag import HAVE_NUMPY
 from repro.core import GramConfig, PQGramIndex
 from repro.datasets import dblp_tree, dblp_update_script, random_labelled_tree
 from repro.edits import apply_script
@@ -148,6 +153,122 @@ class TestSegmentFile:
             handle.write(b"\x00" * 16)
         with pytest.raises(SegmentCorruptError):
             _Segment(path)
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="v2 segments require numpy")
+class TestSegmentFileV2:
+    """Generation-2 (succinct, varint-packed) segments: same contract.
+
+    The compressed format adds failure modes v1 cannot have — packed
+    block widths and delta streams that decode to garbage — so beyond
+    the checksum sweep the matrix also corrupts the varint metadata
+    with checksum verification *off*, which must still be caught by
+    ``PackedIntArray.read_from``'s structural validation.
+    """
+
+    def test_roundtrip_exact_and_dispatch(self, tmp_path):
+        bags = random_bags(12, seed=31)
+        path = str(tmp_path / "seg.seg")
+        write_segment_file_v2(path, bags)
+        segment = _open_segment(path)
+        assert isinstance(segment, _SegmentV2)
+        assert sorted(segment.tree_ids) == sorted(bags)
+        for tree_id, bag in bags.items():
+            assert segment.tree_bag(tree_id) == bag
+        for key in {key for bag in bags.values() for key in bag}:
+            expected = {
+                tree_id: bag[key]
+                for tree_id, bag in bags.items()
+                if key in bag
+            }
+            assert segment.key_postings(key) == expected
+        assert segment.key_postings((9, 9, 9, 9, 9)) is None
+        # v1 files still open through the same dispatcher.
+        v1_path = str(tmp_path / "old.seg")
+        write_segment_file(v1_path, bags)
+        assert isinstance(_open_segment(v1_path), _Segment)
+
+    def test_duplicate_bags_stored_once(self, tmp_path):
+        bag = {(1, 2, 3): 2, (4, 5, 6): 1}
+        path = str(tmp_path / "seg.seg")
+        write_segment_file_v2(path, {0: dict(bag), 1: dict(bag), 2: {}})
+        segment = _SegmentV2(path)
+        assert segment.n_bags == 2  # the shared bag plus the empty one
+        assert segment.tree_bag(0) == bag
+        assert segment.tree_bag(1) == bag
+        assert segment.tree_bag(2) == {}
+
+    def test_truncation_matrix(self, tmp_path):
+        bags = random_bags(8, seed=32)
+        path = str(tmp_path / "seg.seg")
+        write_segment_file_v2(path, bags)
+        size = os.path.getsize(path)
+        with open(path, "rb") as handle:
+            pristine = handle.read()
+        for cut in (0, _HEADER2_SIZE - 1, _HEADER2_SIZE, size // 3,
+                    size // 2, size - 8, size - 1):
+            with open(path, "wb") as handle:
+                handle.write(pristine[:cut])
+            with pytest.raises(SegmentCorruptError):
+                _SegmentV2(path)
+        with open(path, "wb") as handle:
+            handle.write(pristine)
+        _SegmentV2(path)  # pristine copy still opens
+
+    def test_bitflip_matrix(self, tmp_path):
+        bags = random_bags(8, seed=33)
+        path = str(tmp_path / "seg.seg")
+        write_segment_file_v2(path, bags)
+        size = os.path.getsize(path)
+        with open(path, "rb") as handle:
+            pristine = handle.read()
+        # Magic, each header count, the CRC field itself, and a sweep
+        # of body offsets across the packed sections.
+        offsets = [0, 9, 17, 25, 33, 41, 49, 57, 65] + [
+            _HEADER2_SIZE + (size - _HEADER2_SIZE) * i // 7 for i in range(7)
+        ]
+        for offset in offsets:
+            offset = min(offset, size - 1)
+            corrupt = bytearray(pristine)
+            corrupt[offset] ^= 0x40
+            with open(path, "wb") as handle:
+                handle.write(bytes(corrupt))
+            with pytest.raises(SegmentCorruptError):
+                _SegmentV2(path)
+
+    def test_corrupt_varint_width_caught_without_checksum(self, tmp_path):
+        """A torn block-width byte must be caught structurally even
+        when the caller skipped the CRC — 3 is never a legal width."""
+        bags = random_bags(8, seed=34)
+        path = str(tmp_path / "seg.seg")
+        write_segment_file_v2(path, bags)
+        # First packed section (tree ids) starts right after the file
+        # header; its widths follow the 16-byte array header.
+        with open(path, "r+b") as handle:
+            handle.seek(_HEADER2_SIZE + 16)
+            handle.write(b"\x03")
+        with pytest.raises(SegmentCorruptError):
+            _SegmentV2(path, verify_checksum=False)
+
+    def test_corrupt_varint_segment_never_served(self, tmp_path):
+        """End to end: a compressed backend refuses to reopen over a
+        segment whose packed payload was flipped."""
+        directory = str(tmp_path / "seg")
+        backend = SegmentBackend(directory, compress=True)
+        for tree_id, bag in random_bags(8, seed=35).items():
+            backend.add_tree_bag(tree_id, dict(bag))
+        assert backend.seal()
+        backend.close()
+        [segfile] = glob.glob(os.path.join(directory, "segment-*.seg"))
+        with open(segfile, "rb") as handle:
+            assert handle.read(8) == b"RSEGIDX2"  # compress wrote v2
+        with open(segfile, "r+b") as handle:
+            handle.seek(_HEADER2_SIZE + 24)
+            byte = handle.read(1)
+            handle.seek(-1, os.SEEK_CUR)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        with pytest.raises(SegmentCorruptError):
+            SegmentBackend(directory, compress=True)
 
 
 # ----------------------------------------------------------------------

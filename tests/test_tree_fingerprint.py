@@ -52,6 +52,55 @@ class TestBasics:
         assert fingerprints[children[0]] == fingerprints[children[1]]
 
 
+class TestLinearFoldCollisions:
+    """Families a linear (Karp–Rabin-style) child fold conflates.
+
+    The dedup table shares pq-gram bags between equal-fingerprint
+    trees, so these are correctness regressions, not hygiene: an
+    additive fold maps ``a(b, c)`` and ``a(c, b)`` to the same value,
+    and a polynomial fold collides whole redistribution families.
+    """
+
+    def test_child_redistribution_distinct(self):
+        # Under an additive fold f(a(X)) = h(a) + sum f(X), moving a
+        # grandchild up collides: a(b(c), d) vs a(b, c(d)) vs a(b(d), c)
+        shapes = ["a(b(c),d)", "a(b,c(d))", "a(b(d),c)", "a(b(c,d))"]
+        prints = [tree_fingerprint(tree_from_brackets(s)) for s in shapes]
+        assert len(set(prints)) == len(shapes)
+
+    def test_sibling_permutations_all_distinct(self):
+        import itertools
+
+        prints = set()
+        for order in itertools.permutations("bcd"):
+            prints.add(
+                tree_fingerprint(
+                    tree_from_brackets(f"a({','.join(order)})")
+                )
+            )
+        assert len(prints) == 6
+
+    def test_label_swap_across_levels_distinct(self):
+        # Linear folds treat the multiset of (label, depth) pairs as
+        # the identity; swapping labels between levels must still
+        # change the fingerprint.
+        assert tree_fingerprint(
+            tree_from_brackets("a(b(c),c)")
+        ) != tree_fingerprint(tree_from_brackets("a(c(b),b)"))
+
+    def test_digest_width_is_128_bits(self):
+        from repro.tree.fingerprint import DIGEST_SIZE
+
+        assert DIGEST_SIZE == 16
+        # fingerprints actually use the full width: over a few trees
+        # at least one must exceed 64 bits
+        prints = [
+            tree_fingerprint(tree_from_brackets(f"a(b{i})"))
+            for i in range(8)
+        ]
+        assert any(value >= 1 << 64 for value in prints)
+
+
 @settings(max_examples=80)
 @given(trees(max_size=20), trees(max_size=20))
 def test_fingerprint_equality_iff_structure_equality(left, right):
