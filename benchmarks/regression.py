@@ -17,11 +17,16 @@ compressed 256-tree lookup must stay within
 ``COMPRESS_LOOKUP_TOLERANCE`` of the plain sweep and return
 bit-identical matches), plus the metrics-overhead check (the 256-tree
 lookup with a live ``MetricsRegistry`` vs the no-op default must stay
-within ``METRICS_OVERHEAD_TOLERANCE``), writes machine-readable
-results to ``benchmarks/results/BENCH_lookup.json`` /
-``BENCH_backend.json`` / ``BENCH_update.json`` /
+within ``METRICS_OVERHEAD_TOLERANCE``), plus the structural-pushdown
+check (rare-label query over a 10k-tree DBLP-like forest on the rel
+backend — pushing the predicate into the sweep must not lose to
+post-filtering, ``query_pushdown_ratio`` ≤
+``QUERY_PUSHDOWN_TOLERANCE``, bit-identical matches), writes
+machine-readable results to ``benchmarks/results/BENCH_lookup.json``
+/ ``BENCH_backend.json`` / ``BENCH_update.json`` /
 ``BENCH_maintain.json`` / ``BENCH_metrics.json`` /
-``BENCH_segment.json`` / ``BENCH_size.json``, and exits non-zero
+``BENCH_segment.json`` / ``BENCH_size.json`` /
+``BENCH_query.json``, and exits non-zero
 when any measured wall time regresses more than ``TOLERANCE``× against
 the checked-in baseline::
 
@@ -80,6 +85,10 @@ COMPRESSION_MIN_RATIO = 5.0
 #: compressed-path lookup vs the uncompressed sweep, 256-tree workload
 COMPRESS_LOOKUP_TOLERANCE = 1.15
 
+#: structural pushdown vs post-filter on the rel backend at rare-label
+#: selectivity — pruning before scoring must not lose to filtering after
+QUERY_PUSHDOWN_TOLERANCE = 1.0
+
 LOOKUP_BUDGET = 60_000
 LOOKUP_TREE_COUNTS = (16, 64, 256)
 LOOKUP_TAU = 0.8
@@ -91,6 +100,9 @@ MAINTAIN_NODE_BUDGET = 10_000
 MAINTAIN_LOG_SIZES = (1, 8, 64)
 REOPEN_TREE_COUNT = 10_000
 SIZE_TREE_COUNT = 10_000
+QUERY_TREE_COUNT = 10_000
+QUERY_SELECTIVITY = 0.10
+QUERY_RARE_LABEL = "rare-venue"
 CONFIG = GramConfig(3, 3)
 
 
@@ -442,6 +454,67 @@ def measure_metrics_overhead() -> Dict[str, float]:
     return times
 
 
+def measure_query() -> Dict[str, float]:
+    """Structural-pushdown gate on the rel backend.
+
+    A ``QUERY_TREE_COUNT``-tree DBLP-like forest in which a rare venue
+    label is planted into ``QUERY_SELECTIVITY`` of the trees, queried
+    with ``And(ApproxLookup, HasLabel(rare))`` under a τ wide enough
+    to admit every tree — the shape where predicate placement matters
+    most, because the post-filter arm must score all 10k trees while
+    pushdown prunes 90% of them before any distance is materialized.
+    Both arms run through the same executor with ``force_mode``
+    pinned, interleaved with the best paired round reported;
+    ``query_pushdown_ratio`` must stay at or under
+    ``QUERY_PUSHDOWN_TOLERANCE`` and both arms must return
+    bit-identical matches.
+    """
+    import random
+
+    from repro.query import And, ApproxLookup, HasLabel
+    from repro.query.executor import execute_plan
+
+    rng = random.Random(1234)
+    collection = []
+    rare = 0
+    for tree_id in range(QUERY_TREE_COUNT):
+        tree = dblp_tree(1, seed=5000 + tree_id)
+        if rng.random() < QUERY_SELECTIVITY:
+            tree.add_child(tree.root_id, QUERY_RARE_LABEL)
+            rare += 1
+        collection.append((tree_id, tree))
+    forest = ForestIndex(CONFIG, backend="rel")
+    forest.add_trees(collection)
+    forest.compact()
+    query = dblp_tree(1, seed=5000)  # unplanted twin of tree 0
+    plan = And(ApproxLookup(query, 10.0), HasLabel(QUERY_RARE_LABEL))
+
+    pushed = execute_plan(forest, plan, force_mode="pushdown")
+    filtered = execute_plan(forest, plan, force_mode="postfilter")
+    assert pushed.matches == filtered.matches, (
+        "pushdown diverged from the post-filter sweep"
+    )
+    assert len(pushed.matches) == rare
+
+    rounds: List[List[float]] = [[], []]
+    for _ in range(9):
+        for arm, mode in enumerate(("postfilter", "pushdown")):
+            def run(mode=mode) -> None:
+                execute_plan(forest, plan, force_mode=mode)
+            rounds[arm].append(wall_time(run, repeats=1))
+    pick = min(
+        range(len(rounds[0])),
+        key=lambda index: rounds[1][index] / rounds[0][index],
+    )
+    return {
+        "query_trees": float(QUERY_TREE_COUNT),
+        "query_selectivity": rare / QUERY_TREE_COUNT,
+        "query_postfilter_ms": rounds[0][pick] * 1e3,
+        "query_pushdown_ms": rounds[1][pick] * 1e3,
+        "query_pushdown_ratio": rounds[1][pick] / rounds[0][pick],
+    }
+
+
 def run(rebaseline: bool, tolerance: float = TOLERANCE) -> int:
     lookup = measure_lookup()
     backend = measure_backend()
@@ -450,6 +523,7 @@ def run(rebaseline: bool, tolerance: float = TOLERANCE) -> int:
     segment = measure_segment()
     size = measure_size()
     metrics = measure_metrics_overhead()
+    query = measure_query()
     for name, payload in (
         ("BENCH_lookup.json", lookup),
         ("BENCH_backend.json", backend),
@@ -458,6 +532,7 @@ def run(rebaseline: bool, tolerance: float = TOLERANCE) -> int:
         ("BENCH_segment.json", segment),
         ("BENCH_size.json", size),
         ("BENCH_metrics.json", metrics),
+        ("BENCH_query.json", query),
     ):
         with open(results_path(name), "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
@@ -548,6 +623,23 @@ def run(rebaseline: bool, tolerance: float = TOLERANCE) -> int:
         f"sealed {size['size_segment_compressed_bytes_per_tree']:.0f} "
         f"B/tree, floor {COMPRESSION_MIN_RATIO:.0f}x) "
         + ("REGRESSION" if compression_ratio < COMPRESSION_MIN_RATIO
+           else "ok")
+    )
+    pushdown_ratio = query["query_pushdown_ratio"]
+    if pushdown_ratio > QUERY_PUSHDOWN_TOLERANCE:
+        overhead_failures.append(
+            f"query_pushdown_ratio: {pushdown_ratio:.4f} "
+            f"(> {QUERY_PUSHDOWN_TOLERANCE:.2f}x) — structural pushdown "
+            f"loses to the post-filter sweep at "
+            f"{query['query_selectivity']:.0%} selectivity on "
+            f"{QUERY_TREE_COUNT} trees"
+        )
+    print(
+        f"  query_pushdown_ratio: {pushdown_ratio:.4f} "
+        f"(pushdown {query['query_pushdown_ms']:.3f} ms / "
+        f"post-filter {query['query_postfilter_ms']:.3f} ms, "
+        f"limit {QUERY_PUSHDOWN_TOLERANCE:.2f}x) "
+        + ("REGRESSION" if pushdown_ratio > QUERY_PUSHDOWN_TOLERANCE
            else "ok")
     )
     compress_ratio = size["compress_lookup_ratio"]

@@ -2,7 +2,7 @@
 
 One write path — :class:`~repro.backend.base.ForestBackend` — behind
 which the paper's ``(treeId, pqg, cnt)`` relation (Fig. 4b) is stored,
-with four interchangeable engines:
+with five interchangeable engines:
 
 - :class:`~repro.backend.memory.MemoryBackend` — plain dict bags and
   inverted lists; the bit-exact reference.
@@ -16,6 +16,11 @@ with four interchangeable engines:
   memory-mapped on-disk segment files plus an in-memory overlay and a
   tail delta log; reopen maps the segment read-only and replays only
   the delta — O(overlay), not O(index).
+- :class:`~repro.backend.rel.RelBackend` — the relation as actual
+  relstore tables (postings, sizes, pre/post node tables) with hash
+  and sorted secondary indexes; the only backend that stores the
+  XPath-accelerator encoding, so structural query predicates push
+  down into the candidate sweep instead of post-filtering.
 
 All backends return bit-identical results on every read; the
 conformance suite (``tests/test_backend_conformance.py``) enforces it.
@@ -26,6 +31,7 @@ nothing above the facade changes.
 from repro.backend.base import Admit, Bag, ForestBackend, Key, make_backend
 from repro.backend.compact import CompactBackend
 from repro.backend.memory import MemoryBackend
+from repro.backend.rel import RelBackend
 from repro.backend.segment import SegmentBackend
 from repro.backend.sharded import ShardedBackend
 
@@ -35,6 +41,7 @@ __all__ = [
     "CompactBackend",
     "ShardedBackend",
     "SegmentBackend",
+    "RelBackend",
     "make_backend",
     "Admit",
     "Bag",

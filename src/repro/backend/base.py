@@ -45,10 +45,16 @@ from repro.obsv.metrics import NULL_REGISTRY, MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.concurrency.snapshot import SnapshotHandle
+    from repro.query.plan import Plan
+    from repro.tree.tree import Tree
 
 Key = Tuple[int, ...]
 Bag = Dict[Key, int]
 Admit = Callable[[int], bool]
+
+#: every registered backend name, in factory preference order —
+#: the single source the ``make_backend`` error message quotes
+BACKEND_NAMES = ("memory", "compact", "sharded", "segment", "rel")
 
 
 class ForestBackend(ABC):
@@ -226,6 +232,40 @@ class ForestBackend(ABC):
         return False
 
     # ------------------------------------------------------------------
+    # structural predicates (XPath-accelerator encoding)
+    # ------------------------------------------------------------------
+
+    #: whether this backend maintains a queryable pre/post-order node
+    #: table per document (the XPath-accelerator encoding), so the
+    #: executor may push ``HasPath``/``HasLabel`` predicates into the
+    #: candidate sweep instead of post-filtering.
+    supports_structural_predicates: bool = False
+
+    def record_structure(self, tree_id: int, tree: "Tree") -> None:
+        """Store (or replace) the pre/post encoding of one tree.
+
+        The forest facade calls this after every add/update with the
+        source document in hand — backends without structural support
+        ignore it (the default)."""
+
+    def structural_matcher(
+        self, predicate: "Plan"
+    ) -> Optional[Callable[[int], bool]]:
+        """A per-tree matcher for one structural predicate, or None
+        when this backend cannot evaluate it from stored state."""
+        return None
+
+    def structures_complete(self) -> bool:
+        """Whether every indexed tree currently has a stored encoding.
+
+        Pushdown is only sound when this holds — trees indexed through
+        the bag-only write path (snapshot restore, direct
+        ``add_tree_bag``) have no node rows, and a predicate must not
+        silently reject them.  The default (no structural support) is
+        False."""
+        return False
+
+    # ------------------------------------------------------------------
     # durability hooks (document-store integration)
     # ------------------------------------------------------------------
 
@@ -307,18 +347,19 @@ def make_backend(
 ) -> ForestBackend:
     """Resolve a backend spec: an instance (passed through), or one of
     the registered names ``memory`` / ``compact`` / ``sharded`` /
-    ``segment``.
+    ``segment`` / ``rel``.
 
     ``shards`` is only meaningful with ``sharded`` (default 4 there)
-    and ``directory`` only with ``segment`` (an ephemeral temp dir
-    there by default); passing either with any other spec is an error —
-    it would silently do nothing otherwise.  ``compress`` forces the
-    succinct storage layer on or off for any named backend (``None``
-    defers to ``REPRO_COMPRESS``, see
+    and ``directory`` only with the durable backends ``segment`` and
+    ``rel`` (ephemeral storage otherwise); passing either with any
+    other spec is an error — it would silently do nothing otherwise.
+    ``compress`` forces the succinct storage layer on or off for any
+    named backend (``None`` defers to ``REPRO_COMPRESS``, see
     :func:`repro.compress.compression_enabled`).
     """
     from repro.backend.compact import CompactBackend
     from repro.backend.memory import MemoryBackend
+    from repro.backend.rel import RelBackend
     from repro.backend.segment import SegmentBackend
     from repro.backend.sharded import ShardedBackend
 
@@ -336,9 +377,10 @@ def make_backend(
                 "compress= cannot be combined with a backend instance"
             )
         return spec
-    if directory is not None and spec != "segment":
+    if directory is not None and spec not in ("segment", "rel"):
         raise ValueError(
-            f"directory= is only valid with the segment backend, not {spec!r}"
+            "directory= is only valid with the segment or rel backends, "
+            f"not {spec!r}"
         )
     if spec == "sharded":
         return ShardedBackend(
@@ -352,7 +394,9 @@ def make_backend(
         return CompactBackend(compress=compress)
     if spec == "segment":
         return SegmentBackend(directory, compress=compress)
+    if spec == "rel":
+        return RelBackend(directory, compress=compress)
     raise ValueError(
-        f"unknown forest backend {spec!r} "
-        "(expected memory, compact, sharded or segment)"
+        f"unknown forest backend {spec!r}; valid backends: "
+        + ", ".join(BACKEND_NAMES)
     )

@@ -136,12 +136,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     create_parser.add_argument(
         "--backend",
-        choices=("memory", "compact", "sharded", "segment"),
+        choices=("memory", "compact", "sharded", "segment", "rel"),
         default="compact",
         help="forest storage backend (default compact: array snapshot "
         "with a delta overlay; segment keeps the frozen postings in "
         "memory-mapped files under <dir>/segments for instant reopen; "
-        "all backends are bit-identical)",
+        "rel stores the relation as relstore tables under <dir>/rel "
+        "with a pre/post node table, enabling structural predicate "
+        "pushdown in 'store query'; all backends are bit-identical)",
     )
     create_parser.add_argument(
         "--shards",
@@ -211,6 +213,63 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     lookup_parser.add_argument("file")
     lookup_parser.add_argument("--tau", type=float, default=0.5)
+
+    query_parser = store_commands.add_parser(
+        "query",
+        help="approximate lookup with structural predicates (pushed "
+        "down into the sweep on the rel backend, post-filtered over "
+        "the stored documents everywhere else)",
+    )
+    query_parser.add_argument("file", help="XML query document")
+    query_group = query_parser.add_mutually_exclusive_group()
+    query_group.add_argument(
+        "--tau",
+        type=float,
+        default=None,
+        help="distance threshold (default 0.5 unless --top-k is given)",
+    )
+    query_group.add_argument(
+        "--top-k",
+        type=int,
+        default=None,
+        metavar="K",
+        help="return the K nearest matches instead of thresholding",
+    )
+    query_parser.add_argument(
+        "--has-path",
+        action="append",
+        default=[],
+        metavar="A/B/C",
+        help="keep only documents containing this root-to-leaf label "
+        "chain along the descendant axis (repeatable)",
+    )
+    query_parser.add_argument(
+        "--has-label",
+        action="append",
+        default=[],
+        metavar="LABEL",
+        help="keep only documents containing this label (repeatable)",
+    )
+    query_parser.add_argument(
+        "--without-path",
+        action="append",
+        default=[],
+        metavar="A/B/C",
+        help="drop documents containing this label chain (repeatable)",
+    )
+    query_parser.add_argument(
+        "--without-label",
+        action="append",
+        default=[],
+        metavar="LABEL",
+        help="drop documents containing this label (repeatable)",
+    )
+    query_parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="also print the normalized plan and the physical strategy "
+        "(pushdown vs post-filter) that ran",
+    )
 
     store_commands.add_parser("list", help="list stored documents")
 
@@ -435,6 +494,39 @@ def _run_store_command(
         result = store.lookup(query, arguments.tau)
         if not result.matches:
             print(f"no documents within tau={arguments.tau}")
+        for document_id, distance in result.matches:
+            print(f"doc {document_id}\tdistance {distance:.4f}")
+    elif arguments.store_command == "query":
+        from repro.query import (
+            And,
+            ApproxLookup,
+            HasLabel,
+            HasPath,
+            Not,
+            TopK,
+            describe,
+        )
+
+        query = tree_from_xml(arguments.file)
+        if arguments.top_k is not None:
+            retrieval = TopK(query, arguments.top_k)
+        else:
+            retrieval = ApproxLookup(
+                query, 0.5 if arguments.tau is None else arguments.tau
+            )
+        parts = [retrieval]
+        parts.extend(HasPath(path) for path in arguments.has_path)
+        parts.extend(HasLabel(label) for label in arguments.has_label)
+        parts.extend(Not(HasPath(path)) for path in arguments.without_path)
+        parts.extend(Not(HasLabel(label)) for label in arguments.without_label)
+        plan = parts[0] if len(parts) == 1 else And(*parts)
+        result = store.query(plan)
+        if arguments.explain:
+            mode = "pushdown" if result.extra.get("pushdown") else "post-filter"
+            print(f"# plan: {describe(plan)}", file=sys.stderr)
+            print(f"# structural predicates: {mode}", file=sys.stderr)
+        if not result.matches:
+            print("no documents matched")
         for document_id, distance in result.matches:
             print(f"doc {document_id}\tdistance {distance:.4f}")
     elif arguments.store_command == "list":

@@ -96,19 +96,75 @@ if HAVE_NUMPY:
 
 
 class InternPool:
-    """Canonical key tuples, dense ids, and memoized fingerprints."""
+    """Canonical key tuples, dense ids, and memoized fingerprints.
 
-    __slots__ = ("_canon", "_ids", "_keys", "_fps")
+    ``max_entries`` bounds the pool: when set, interning a key beyond
+    the cap evicts the least-recently-interned keys *without an
+    assigned dense id*.  Id-assigned keys are pinned — segment-v2 bag
+    tables persist the dense ids, so the id ↔ key mapping must stay
+    append-only for the life of the process — which means the pool may
+    exceed the cap when every resident key is pinned.  Bounded pools
+    maintain per-touch recency bookkeeping and therefore give up the
+    single-``setdefault`` atomicity of the unbounded pool; keep the
+    shared default pool unbounded under concurrent sharded writers.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("_canon", "_ids", "_keys", "_fps", "_max_entries", "_evictions")
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(
+                f"max_entries must be positive, got {max_entries}"
+            )
         self._canon: Dict[Key, Key] = {}
         self._ids: Dict[Key, int] = {}
         self._keys: List[Key] = []
         self._fps: Dict[Key, int] = {}
+        self._max_entries = max_entries
+        self._evictions = 0
 
     def intern(self, key: Key) -> Key:
         """The canonical object equal to ``key`` (registering it)."""
-        return self._canon.setdefault(key, key)
+        if self._max_entries is None:
+            return self._canon.setdefault(key, key)
+        canon = self._canon.get(key)
+        if canon is not None:
+            # Refresh recency: dicts iterate in insertion order, so
+            # re-inserting moves the key to the young end.
+            del self._canon[canon]
+            self._canon[canon] = canon
+            return canon
+        self._canon[key] = key
+        if len(self._canon) > self._max_entries:
+            self._evict(keep=key)
+        return key
+
+    def _evict(self, keep: Key) -> None:
+        """Drop the oldest unpinned keys until the cap holds (or only
+        pinned keys remain).  The key being interned right now is never
+        evicted — handing out an object the pool immediately forgot
+        would defeat the call."""
+        ids = self._ids
+        limit = self._max_entries
+        assert limit is not None
+        for candidate in list(self._canon):
+            if len(self._canon) <= limit:
+                break
+            if candidate is keep or candidate in ids:
+                continue
+            del self._canon[candidate]
+            self._fps.pop(candidate, None)
+            self._evictions += 1
+
+    @property
+    def evictions(self) -> int:
+        """Unreferenced keys evicted by the LRU cap so far."""
+        return self._evictions
+
+    @property
+    def max_entries(self) -> Optional[int]:
+        """The entry cap (None for an unbounded pool)."""
+        return self._max_entries
 
     def id_of(self, key: Key) -> int:
         """Dense int32 id of ``key`` (assigned at first sight)."""
@@ -127,6 +183,10 @@ class InternPool:
     def fingerprint(self, key: Key) -> int:
         """Memoized ``combine_fingerprints(key)`` — the sweep-side
         probe value for compressed posting arrays."""
+        if self._max_entries is not None:
+            # Memoize against the canonical entry so the LRU cap bounds
+            # the fingerprint table too (eviction drops both together).
+            key = self.intern(key)
         fingerprint = self._fps.get(key)
         if fingerprint is None:
             fingerprint = self._fps.setdefault(
@@ -174,8 +234,12 @@ class InternPool:
                 continue
             values = _combine_matrix(matrix)
             out[positions] = values
-            for position, value in zip(positions, values.tolist()):
-                memo.setdefault(keys[position], value)
+            if self._max_entries is None:
+                for position, value in zip(positions, values.tolist()):
+                    memo.setdefault(keys[position], value)
+            else:
+                for position, value in zip(positions, values.tolist()):
+                    memo.setdefault(self.intern(keys[position]), value)
         return out
 
     def __len__(self) -> int:
@@ -186,10 +250,27 @@ class InternPool:
             "interned_keys": len(self._canon),
             "assigned_ids": len(self._keys),
             "memoized_fingerprints": len(self._fps),
+            "evictions": self._evictions,
+            "max_entries": 0 if self._max_entries is None else self._max_entries,
         }
 
 
-_DEFAULT_POOL = InternPool()
+def _default_pool_cap() -> Optional[int]:
+    """Entry cap for the process pool, from ``REPRO_INTERN_POOL_MAX``
+    (unset or non-positive → unbounded)."""
+    import os
+
+    raw = os.environ.get("REPRO_INTERN_POOL_MAX", "").strip()
+    if not raw:
+        return None
+    try:
+        cap = int(raw)
+    except ValueError:
+        return None
+    return cap if cap > 0 else None
+
+
+_DEFAULT_POOL = InternPool(max_entries=_default_pool_cap())
 
 
 def default_pool() -> InternPool:
@@ -200,7 +281,7 @@ def default_pool() -> InternPool:
 def _reset_default_pool() -> InternPool:
     """Replace the process pool (tests measuring pool growth only)."""
     global _DEFAULT_POOL
-    _DEFAULT_POOL = InternPool()
+    _DEFAULT_POOL = InternPool(max_entries=_default_pool_cap())
     return _DEFAULT_POOL
 
 

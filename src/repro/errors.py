@@ -74,6 +74,12 @@ class CodecError(StorageError):
     """The binary codec met malformed input."""
 
 
+class QueryError(ReproError):
+    """A logical query plan is malformed or cannot be executed
+    (unknown node type, a structural predicate with no backend support
+    and no document provider to post-filter with, ...)."""
+
+
 class XmlError(ReproError):
     """The XML tokenizer or parser met malformed input."""
 

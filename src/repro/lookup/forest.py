@@ -14,7 +14,16 @@ from __future__ import annotations
 
 import os
 import threading
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from repro.backend.base import Bag, ForestBackend, Key, make_backend
 from repro.compress import compression_enabled, default_pool
@@ -22,7 +31,6 @@ from repro.compress.dedup import DedupTable
 from repro.concurrency.rwlock import ReadWriteLock
 from repro.concurrency.snapshot import SnapshotHandle
 from repro.core.config import GramConfig
-from repro.core.distance import distance_from_overlap, size_bound_admits
 from repro.core.index import PQGramIndex
 from repro.core.maintain import update_index_replay_delta
 from repro.edits.ops import EditOperation
@@ -107,6 +115,15 @@ class ForestIndex:
             "lookup_matches_total",
             "trees returned under the tau threshold",
         )
+        self._m_query_plans = {
+            mode: registry.counter(
+                "query_plans_total",
+                "logical plans executed, by physical strategy for "
+                "structural predicates",
+                mode=mode,
+            )
+            for mode in ("plain", "pushdown", "postfilter")
+        }
         self._m_dedup_hits = registry.counter(
             "dedup_hits_total",
             "tree adds served an already-built shared bag by the "
@@ -285,10 +302,16 @@ class ForestIndex:
                 "dedup_shared_refs",
                 "live tree references onto shared bags",
             ).set(dedup_stats["shared_refs"])
+        if self._compress:
+            pool = default_pool()
             registry.gauge(
                 "intern_pool_size",
                 "distinct pq-gram key tuples interned in the shared pool",
-            ).set(len(default_pool()))
+            ).set(len(pool))
+            registry.gauge(
+                "intern_pool_evictions_total",
+                "unreferenced interned keys evicted by the pool's LRU cap",
+            ).set(pool.evictions)
 
     # ------------------------------------------------------------------
     # building and maintaining
@@ -314,11 +337,20 @@ class ForestIndex:
             self._m_dedup_hits.inc()
         return bag
 
+    def _record_structure(self, tree_id: int, tree: Tree) -> None:
+        """Hand the source tree's pre/post encoding to backends that
+        store one (the XPath-accelerator node table behind structural
+        predicate pushdown); a no-op for every other backend.  Must run
+        inside the same write scope as the index mutation."""
+        if self._backend.supports_structural_predicates:
+            self._backend.record_structure(tree_id, tree)
+
     def add_tree(self, tree_id: int, tree: Tree) -> None:
         """Index a new tree of the forest."""
         bag = self._build_bag(tree)
         with self._write_scope():
             self._backend.add_tree_bag(tree_id, bag)
+            self._record_structure(tree_id, tree)
             self._bump_generation()
 
     def add_trees(
@@ -356,9 +388,11 @@ class ForestIndex:
 
             bags, memo = build_bags_parallel(items, self.config, jobs)
             self.hasher.absorb_memo(memo)
+            trees = dict(items)
             with self._write_scope():
                 for tree_id, bag in bags:
                     self._backend.add_tree_bag(tree_id, bag)
+                    self._record_structure(tree_id, trees[tree_id])
                 self._bump_generation()
         else:
             for tree_id, tree in items:
@@ -419,6 +453,7 @@ class ForestIndex:
                 if hit:
                     self._m_dedup_hits.inc()
                 self._backend.add_tree_bag(tree_id, bag)
+                self._record_structure(tree_id, tree)
             self._bump_generation()
 
     def remove_tree(self, tree_id: int) -> None:
@@ -484,6 +519,7 @@ class ForestIndex:
                 )
             with self._write_scope():
                 self._backend.apply_tree_delta(tree_id, minus, plus)
+                self._record_structure(tree_id, tree)
                 self._bump_generation()
         self._m_maintain_batches[engine].inc()
         self._m_maintain_ops.inc(len(log))
@@ -563,6 +599,7 @@ class ForestIndex:
         tau: Optional[float] = None,
         *,
         reader: "Optional[ForestBackend | SnapshotHandle]" = None,
+        prefilter: Optional[Callable[[int], bool]] = None,
     ) -> Dict[int, float]:
         """pq-gram distances of the query index against the forest.
 
@@ -587,100 +624,24 @@ class ForestIndex:
         :class:`~repro.concurrency.snapshot.SnapshotHandle` from
         :meth:`read_view`, so serving threads scan a frozen generation
         while writers mutate the live relation.
+
+        ``prefilter`` is an optional per-tree admission predicate
+        (structural pushdown from the query layer): rejected trees are
+        pruned before scoring and land in the pruned side of the
+        candidates ledger.
+
+        The scan itself lives in :func:`repro.query.executor.scan_distances`
+        — this method is the stable facade over it.
         """
-        if reader is None:
-            reader = self._backend
-        query_size = query.size()
-        self._m_lookups.inc()
-        with self.metrics.span("lookup.distances"):
-            if tau is None:
-                return self._distances_full(query, query_size, reader)
-            if tau > 1.0:
-                # Every tree qualifies at most at the no-overlap distance
-                # 1.0 < tau: nothing can be pruned.
-                full = self._distances_full(query, query_size, reader)
-                result = {
-                    tree_id: distance
-                    for tree_id, distance in full.items()
-                    if distance < tau
-                }
-            else:
-                result = self._distances_pruned(query, query_size, tau, reader)
-            self._m_matches.inc(len(result))
-            return result
+        from repro.query.executor import scan_distances
+
+        return scan_distances(
+            self, query, tau=tau, reader=reader, prefilter=prefilter
+        )
 
     def _sweep(self, query: PQGramIndex) -> Dict[int, int]:
         """``{tree_id: |I_query ∩ I_tree|}`` for all co-occurring trees."""
         return self._backend.candidates(query.items())
-
-    def _distances_full(
-        self,
-        query: PQGramIndex,
-        query_size: int,
-        reader: "ForestBackend | SnapshotHandle",
-    ) -> Dict[int, float]:
-        intersections = reader.candidates(query.items())
-        result: Dict[int, float] = {}
-        for tree_id, size in reader.iter_sizes():
-            result[tree_id] = distance_from_overlap(
-                intersections.get(tree_id, 0), query_size + size
-            )
-        # The full scan scores every tree; nothing is pruned.
-        self._m_candidates_total.inc(len(result))
-        self._m_candidates_scored.inc(len(result))
-        return result
-
-    def _distances_pruned(
-        self,
-        query: PQGramIndex,
-        query_size: int,
-        tau: float,
-        reader: "ForestBackend | SnapshotHandle",
-    ) -> Dict[int, float]:
-        result: Dict[int, float] = {}
-        if tau <= 0.0:
-            return result  # distance < tau ≤ 0 is impossible
-        backend = reader
-        if query_size == 0:
-            # Degenerate empty query: distance 0 to empty trees (never
-            # in any posting list), 1 to everything else.
-            for tree_id, size in backend.iter_sizes():
-                if size == 0:
-                    result[tree_id] = 0.0
-            self._m_candidates_total.inc(len(result))
-            self._m_candidates_scored.inc(len(result))
-            return result
-        # The τ size bound, memoized per tree so backends may consult
-        # it as often as their sweep shape requires.
-        admitted: Dict[int, bool] = {}
-
-        def admit(tree_id: int) -> bool:
-            verdict = admitted.get(tree_id)
-            if verdict is None:
-                verdict = size_bound_admits(
-                    query_size, backend.tree_size(tree_id), tau
-                )
-                admitted[tree_id] = verdict
-            return verdict
-
-        candidates = backend.candidates(query.items(), admit=admit)
-        for tree_id, shared in candidates.items():
-            distance = distance_from_overlap(
-                shared, query_size + backend.tree_size(tree_id)
-            )
-            if distance < tau:
-                result[tree_id] = distance
-        # The admission memo saw every co-occurring tree exactly once
-        # (backends may re-ask; the memo de-duplicates), so it is the
-        # exact pruning ledger: total = pruned + scored.
-        if self.metrics.enabled:
-            pruned = sum(
-                1 for verdict in admitted.values() if not verdict
-            )
-            self._m_candidates_total.inc(len(admitted))
-            self._m_candidates_pruned.inc(pruned)
-            self._m_candidates_scored.inc(len(candidates))
-        return result
 
     # ------------------------------------------------------------------
     # persistence

@@ -28,6 +28,8 @@ from repro.edits.ops import EditOperation
 from repro.hashing.labelhash import LabelHasher
 from repro.lookup.forest import ForestIndex
 from repro.obsv.metrics import MetricsRegistry
+from repro.query.executor import DocumentProvider, execute_plan
+from repro.query.plan import ApproxLookup, Plan, TopK, plan_fingerprint
 from repro.tree.fingerprint import tree_fingerprint
 from repro.tree.tree import Tree
 
@@ -243,36 +245,43 @@ class LookupService:
         """Release the forest's background resources; idempotent."""
         self.forest.close()
 
-    def _scan_matches(
-        self, query: Tree, tau: Optional[float]
-    ) -> Tuple[List[Tuple[int, float]], int]:
-        """One distance scan: ``(sorted matches, population scanned)``.
+    def _execute(
+        self,
+        plan: Plan,
+        query: Tree,
+        documents: Optional[DocumentProvider] = None,
+        force_mode: Optional[str] = None,
+    ) -> Tuple[List[Tuple[int, float]], int, str]:
+        """Execute one logical plan: ``(matches, population, mode)``.
 
-        The shared body of :meth:`lookup` (``tau`` set) and
-        :meth:`nearest` (``tau`` None → all distances).  In serving
-        mode the scan runs against a pinned read view and the sorted
-        result is cached per ``(query, tau, generation)``.
+        The shared body of :meth:`lookup`, :meth:`nearest` and
+        :meth:`query` — every read is a plan now; the legacy entry
+        points just build degenerate single-node plans.  In serving
+        mode the scan runs against a pinned read view and the result is
+        cached per ``(plan fingerprint, generation)``.
         """
         query_index = self.query_index(query)
         if not self._snapshot_reads:
             if self._auto_compact:
                 self.forest.compact()
-            distances = self.forest.distances(query_index, tau=tau)
-            matches = sorted(
-                distances.items(), key=lambda pair: (pair[1], pair[0])
+            execution = execute_plan(
+                self.forest,
+                plan,
+                query_index=query_index,
+                documents=documents,
+                force_mode=force_mode,
             )
-            return matches, len(self.forest)
+            return execution.matches, execution.population, execution.mode
         view = self.forest.read_view()
         self._m_generation_lag.set(
             max(0, self.forest.generation - view.generation)
         )
         key = None
-        if self._result_cache_size:
+        if self._result_cache_size and force_mode is None:
             key = (
-                tree_fingerprint(query),
+                plan_fingerprint(plan),
                 self.forest.config.p,
                 self.forest.config.q,
-                tau,
                 view.generation,
             )
             with self._cache_mutex:
@@ -281,15 +290,26 @@ class LookupService:
                     self._result_cache.move_to_end(key)
             if hit is not None:
                 self._m_result_hits.inc()
-                return list(hit), len(view)
-        distances = self.forest.distances(query_index, tau=tau, reader=view)
-        matches = sorted(distances.items(), key=lambda pair: (pair[1], pair[0]))
+                matches, population, mode = hit
+                return list(matches), population, mode
+        execution = execute_plan(
+            self.forest,
+            plan,
+            query_index=query_index,
+            reader=view,
+            documents=documents,
+            force_mode=force_mode,
+        )
         if key is not None:
             with self._cache_mutex:
-                self._result_cache[key] = matches
+                self._result_cache[key] = (
+                    execution.matches,
+                    execution.population,
+                    execution.mode,
+                )
                 while len(self._result_cache) > self._result_cache_size:
                     self._result_cache.popitem(last=False)
-        return matches, len(view)
+        return execution.matches, execution.population, execution.mode
 
     def lookup(self, query: Tree, tau: float) -> LookupResult:
         """All forest trees within pq-gram distance ``tau`` of the
@@ -298,11 +318,14 @@ class LookupService:
         ``tau`` is pushed down into the forest scan, so candidates the
         threshold can never admit are pruned before their distances are
         materialized; the result is identical to filtering the full
-        distance map.
+        distance map.  A thin wrapper building the one-node plan
+        ``ApproxLookup(query, tau)``.
         """
         started = time.perf_counter()
         with self.forest.metrics.span("lookup"):
-            matches, population = self._scan_matches(query, tau)
+            matches, population, _ = self._execute(
+                ApproxLookup(query, tau), query
+            )
         elapsed = time.perf_counter() - started
         self._m_lookup_seconds.observe(elapsed)
         return LookupResult(
@@ -316,21 +339,53 @@ class LookupService:
         """The k nearest trees to the query, regardless of threshold.
 
         Useful for best-match retrieval (e.g. deduplication pipelines
-        that always want a candidate to inspect).
+        that always want a candidate to inspect).  A thin wrapper
+        building the one-node plan ``TopK(query, k)``.
         """
         if k < 1:
             raise ValueError("k must be positive")
         started = time.perf_counter()
         with self.forest.metrics.span("lookup.nearest"):
-            matches, _ = self._scan_matches(query, None)
-        population = len(matches)
-        matches = matches[:k]
+            matches, population, _ = self._execute(TopK(query, k), query)
         elapsed = time.perf_counter() - started
         self._m_lookup_seconds.observe(elapsed)
         return LookupResult(
             matches=matches,
             seconds_total=elapsed,
             trees_compared=population,
+        )
+
+    def query(
+        self,
+        plan: Plan,
+        documents: Optional[DocumentProvider] = None,
+        force_mode: Optional[str] = None,
+    ) -> LookupResult:
+        """Execute a logical :mod:`repro.query` plan.
+
+        Structural predicates (``HasPath``/``HasLabel``, possibly
+        negated) are pushed down into the candidate sweep when the
+        backend stores the pre/post node encoding (``rel``); otherwise
+        they post-filter the retrieval result — via ``documents``, a
+        ``tree_id → Tree`` provider, when the backend holds no
+        encoding.  ``extra["pushdown"]`` reports which strategy ran;
+        ``force_mode`` pins it (equivalence tests, benchmarks).
+        """
+        from repro.query.plan import normalize_plan
+
+        normalized = normalize_plan(plan)
+        started = time.perf_counter()
+        with self.forest.metrics.span("lookup.query"):
+            matches, population, mode = self._execute(
+                plan, normalized.retrieval.query, documents, force_mode
+            )
+        elapsed = time.perf_counter() - started
+        self._m_lookup_seconds.observe(elapsed)
+        return LookupResult(
+            matches=matches,
+            seconds_total=elapsed,
+            trees_compared=population,
+            extra={"pushdown": 1.0 if mode == "pushdown" else 0.0},
         )
 
     def lookup_without_index(

@@ -12,7 +12,7 @@ Two flavours cover everything the paper's algorithms ask of the store:
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right, insort
+from bisect import bisect_left, bisect_right
 from typing import Any, Dict, Iterator, List, Set, Tuple
 
 Key = Tuple[Any, ...]
@@ -70,6 +70,7 @@ class SortedIndex:
     def __init__(self, key_offsets: Tuple[int, ...]) -> None:
         self._key_offsets = key_offsets
         self._entries: List[Tuple[Key, int]] = []
+        self._dirty = False
 
     def key_of(self, row: Tuple[Any, ...]) -> Key:
         """Extract this index's (normalized) key from a row tuple."""
@@ -84,11 +85,23 @@ class SortedIndex:
         )
 
     def add(self, row_id: int, row: Tuple[Any, ...]) -> None:
-        """Register a row (O(n) insert, O(log n) locate)."""
-        insort(self._entries, (self.key_of(row), row_id))
+        """Register a row (amortized O(1); the sort is deferred)."""
+        # Appending and re-sorting on the next read keeps bulk loads
+        # (RelBackend node tables, Database.load re-inserts) linear:
+        # timsort on a sorted-prefix + appended-tail layout is O(n) in
+        # the common already-ordered case, where per-row insort is
+        # O(n) *each* and quadratic overall.
+        self._entries.append((self.key_of(row), row_id))
+        self._dirty = True
+
+    def _ensure_sorted(self) -> None:
+        if self._dirty:
+            self._entries.sort()
+            self._dirty = False
 
     def remove(self, row_id: int, row: Tuple[Any, ...]) -> None:
         """Unregister a row."""
+        self._ensure_sorted()
         entry = (self.key_of(row), row_id)
         position = bisect_left(self._entries, entry)
         if (
@@ -99,6 +112,7 @@ class SortedIndex:
 
     def find(self, key: Key) -> Iterator[int]:
         """Row ids whose key equals ``key``."""
+        self._ensure_sorted()
         key = self.normalize(key)
         lo = bisect_left(self._entries, (key,))
         for stored_key, row_id in self._entries[lo:]:
@@ -109,6 +123,7 @@ class SortedIndex:
 
     def find_range(self, low: Key, high: Key) -> Iterator[int]:
         """Row ids with ``low <= key <= high`` (inclusive both ends)."""
+        self._ensure_sorted()
         low = self.normalize(low)
         high = self.normalize(high)
         lo = bisect_left(self._entries, (low,))

@@ -150,6 +150,8 @@ class DocumentStore:
                 # A fresh store must never adopt leftover segment files
                 # from an earlier store in the same directory.
                 shutil.rmtree(self._segment_directory(), ignore_errors=True)
+            elif backend == "rel":
+                shutil.rmtree(self._rel_directory(), ignore_errors=True)
             self._forest = self._make_forest(
                 config or GramConfig(), backend, shards
             )
@@ -209,6 +211,9 @@ class DocumentStore:
     def _segment_directory(self) -> str:
         return os.path.join(self._directory, "segments")
 
+    def _rel_directory(self) -> str:
+        return os.path.join(self._directory, "rel")
+
     def _make_forest(
         self,
         config: GramConfig,
@@ -216,20 +221,23 @@ class DocumentStore:
         shards: Optional[int],
     ) -> ForestIndex:
         """A forest over ``backend``, homed under the store directory
-        (segment backends own ``<directory>/segments/``) and stamped
-        with this store's identity so reopened segment files can be
-        matched against the snapshot that references them."""
+        (segment backends own ``<directory>/segments/``, rel backends
+        ``<directory>/rel/``) and stamped with this store's identity so
+        reopened on-disk state can be matched against the snapshot that
+        references it."""
+        homes = {
+            "segment": self._segment_directory,
+            "rel": self._rel_directory,
+        }
         forest = ForestIndex(
             config,
             backend=backend,
             shards=shards,
             metrics=self._metrics,
-            directory=(
-                self._segment_directory() if backend == "segment" else None
-            ),
+            directory=homes[backend]() if backend in homes else None,
             compress=self._compress,
         )
-        if backend == "segment":
+        if backend in homes:
             forest.backend.set_source(self._store_uuid)  # type: ignore[attr-defined]
         return forest
 
@@ -260,7 +268,7 @@ class DocumentStore:
     @property
     def backend_name(self) -> str:
         """Name of the forest storage backend
-        (memory/compact/sharded/segment)."""
+        (memory/compact/sharded/segment/rel)."""
         return self._forest.backend.name
 
     def document_ids(self) -> Iterator[int]:
@@ -457,6 +465,24 @@ class DocumentStore:
             )
         return self._service.lookup(query, tau)
 
+    def query(self, plan, force_mode: Optional[str] = None) -> LookupResult:
+        """Execute a logical :mod:`repro.query` plan over the store.
+
+        Structural predicates push down into the candidate sweep on
+        backends that store the pre/post encoding (``rel``); on every
+        other backend the store's own documents post-filter the
+        retrieval result, so the same plan runs everywhere with
+        bit-identical matches.  ``force_mode`` pins the strategy
+        (``"pushdown"``/``"postfilter"``) for tests and benchmarks.
+        """
+        if self._service is None:
+            self._service = LookupService(
+                self._forest, snapshot_reads=self._serving
+            )
+        return self._service.query(
+            plan, documents=self._require, force_mode=force_mode
+        )
+
     def checkpoint(self) -> None:
         """Force a snapshot + WAL truncation."""
         self.flush()
@@ -560,6 +586,9 @@ class DocumentStore:
             stats["segment_bytes"] = backend_stats["segment_bytes"]
             stats["segment_generation"] = backend_stats["generation"]
             stats["overlay_keys"] = backend_stats["overlay_keys"]
+        if "node_rows" in backend_stats:
+            stats["node_rows"] = backend_stats["node_rows"]
+            stats["structured_trees"] = backend_stats["structured_trees"]
         return stats
 
     # ------------------------------------------------------------------
@@ -707,12 +736,14 @@ class DocumentStore:
                         "label": tree.label(node_id),
                     }
                 )
-        if self._forest.backend.name == "segment":
-            # The segment backend is its own durable home: make its
-            # delta log (or a fresh sealed segment) durable instead of
-            # serializing the relation — the snapshot stays
-            # O(documents), and it must be durable *before* the WAL
-            # truncation below discards the batches it covers.
+        if self._forest.backend.name in ("segment", "rel"):
+            # These backends are their own durable homes: make their
+            # on-disk state (the segment delta log, or one atomic
+            # relstore snapshot of the postings/sizes/node tables)
+            # durable instead of serializing the relation — the
+            # snapshot stays O(documents), and it must be durable
+            # *before* the WAL truncation below discards the batches
+            # it covers.
             with self._forest.lock.write():
                 self._forest.backend.checkpoint()  # type: ignore[attr-defined]
         else:
@@ -775,6 +806,8 @@ class DocumentStore:
             self._documents[document_id] = tree
         if backend == "segment":
             rebuilt = self._recover_segment_forest(config)
+        elif backend == "rel":
+            rebuilt = self._recover_rel_forest(config)
         else:
             rebuilt = False
             self._forest = ForestIndex(
@@ -909,5 +942,77 @@ class DocumentStore:
                     for document_id in missing
                 ]
             )
+            reconciled = True
+        return reconciled
+
+    def _recover_rel_forest(self, config: GramConfig) -> bool:
+        """Reopen (or rebuild) the rel forest; True when anything had
+        to be rebuilt or reconciled.
+
+        The happy path loads ``rel.db`` — the whole index relation
+        including the per-tree commit sequences the WAL replay gates
+        on, so replay touches only the uncovered tail.  A corrupt or
+        foreign (wrong source fingerprint) database falls back to a
+        full rebuild from the recovered documents.  Trees whose node
+        rows are missing from the reopened database get their pre/post
+        encoding re-recorded from the documents, so structural
+        pushdown stays sound after recovery.
+        """
+        rel_dir = self._rel_directory()
+        forest: Optional[ForestIndex] = None
+        try:
+            forest = ForestIndex(
+                config,
+                backend="rel",
+                metrics=self._metrics,
+                directory=rel_dir,
+                compress=self._compress,
+            )
+        except StorageError:
+            shutil.rmtree(rel_dir, ignore_errors=True)
+        else:
+            if (
+                forest.backend.source_fingerprint()  # type: ignore[attr-defined]
+                != self._store_uuid
+            ):
+                forest.close()
+                forest = None
+                shutil.rmtree(rel_dir, ignore_errors=True)
+        if forest is None:
+            self._forest = self._make_forest(config, "rel", None)
+            self._forest.backend.note_commit_seq(self._commit_seq)
+            self._forest.add_trees(list(self._documents.items()))
+            return True
+        self._forest = forest
+        forest.backend.set_source(self._store_uuid)  # type: ignore[attr-defined]
+        # Membership reconcile, exactly as for segments: the document
+        # table is the authority; bag contents are reconciled by the
+        # sequence-gated WAL replay that follows.
+        reconciled = False
+        for tree_id in list(forest.backend.tree_ids()):
+            if tree_id not in self._documents:
+                forest.remove_tree(tree_id)
+                reconciled = True
+        missing = [
+            document_id
+            for document_id in self._documents
+            if document_id not in forest.backend
+        ]
+        if missing:
+            forest.backend.note_commit_seq(self._commit_seq)
+            forest.add_trees(
+                [
+                    (document_id, self._documents[document_id])
+                    for document_id in missing
+                ]
+            )
+            reconciled = True
+        unstructured = forest.backend.structures_missing()  # type: ignore[attr-defined]
+        if unstructured:
+            with forest.lock.write():
+                for document_id in sorted(unstructured):
+                    forest.backend.record_structure(
+                        document_id, self._documents[document_id]
+                    )
             reconciled = True
         return reconciled

@@ -1,8 +1,9 @@
 """Backend conformance suite: every backend ≡ MemoryBackend, bit for bit.
 
-One write path (`ForestBackend`) with four engines — memory, compact
+One write path (`ForestBackend`) with five engines — memory, compact
 (array snapshot + delta overlay), sharded (fingerprint-partitioned
-fan-out) and segment (memory-mapped on-disk segments + delta log) —
+fan-out), segment (memory-mapped on-disk segments + delta log) and
+rel (the relation as relstore tables with a pre/post node table) —
 must be indistinguishable on every read: lookups at any τ,
 per-tree indexes, inverted lists, maintenance through both engines,
 and persistence round-trips (forest snapshots and relstore
@@ -42,10 +43,12 @@ BACKENDS = [
     ("sharded-1", {"backend": "sharded", "shards": 1}),
     ("sharded-4", {"backend": "sharded", "shards": 4}),
     ("segment", {"backend": "segment"}),
+    ("rel", {"backend": "rel"}),
     ("memory-z", {"backend": "memory", "compress": True}),
     ("compact-z", {"backend": "compact", "compress": True}),
     ("sharded-4z", {"backend": "sharded", "shards": 4, "compress": True}),
     ("segment-z", {"backend": "segment", "compress": True}),
+    ("rel-z", {"backend": "rel", "compress": True}),
 ]
 BACKEND_IDS = [name for name, _ in BACKENDS]
 ENGINES = ("replay", "batch")
@@ -375,7 +378,8 @@ class TestCompactOverlayStaleness:
         assert_equivalent(forest, reference)
 
     def test_every_builtin_backend_kind(self, tmp_path):
-        from repro.backend import SegmentBackend
+        from repro.backend import RelBackend, SegmentBackend
+        from repro.backend.base import BACKEND_NAMES
 
         assert isinstance(make_backend("memory"), MemoryBackend)
         assert isinstance(make_backend("compact"), CompactBackend)
@@ -389,11 +393,24 @@ class TestCompactOverlayStaleness:
         ephemeral = make_backend("segment")
         assert ephemeral.ephemeral
         ephemeral.close()
-        with pytest.raises(ValueError):
+        rel = make_backend("rel", directory=str(tmp_path / "rel"))
+        assert isinstance(rel, RelBackend)
+        assert not rel.ephemeral
+        rel.close()
+        assert make_backend("rel").ephemeral
+        # An unknown spec names every valid backend in one message.
+        with pytest.raises(ValueError) as excinfo:
             make_backend("mmap")
+        for backend_name in BACKEND_NAMES:
+            assert backend_name in str(excinfo.value)
+        assert "rel" in str(excinfo.value)
         with pytest.raises(ValueError):
             make_backend("memory", shards=2)
         with pytest.raises(ValueError):
             make_backend("compact", directory=str(tmp_path / "x"))
         with pytest.raises(ValueError):
             make_backend(MemoryBackend(), directory=str(tmp_path / "y"))
+        # directory= is valid for both on-disk engines, nothing else.
+        with pytest.raises(ValueError) as excinfo:
+            make_backend("sharded", shards=2, directory=str(tmp_path / "z"))
+        assert "segment or rel" in str(excinfo.value)

@@ -154,6 +154,7 @@ class TestStoreCommands:
         on-disk corruption cannot survive recovery's rebuild, so the
         check is forced to fail here.)"""
         from repro.backend.compact import CompactBackend
+        from repro.backend.rel import RelBackend
         from repro.backend.segment import SegmentBackend
         from repro.errors import IndexConsistencyError
 
@@ -169,6 +170,7 @@ class TestStoreCommands:
         # running (REPRO_STORE_BACKEND picks the default).
         monkeypatch.setattr(CompactBackend, "check_consistency", broken)
         monkeypatch.setattr(SegmentBackend, "check_consistency", broken)
+        monkeypatch.setattr(RelBackend, "check_consistency", broken)
         assert main(["store", "--dir", store_dir, "verify"]) == 1
         output = capsys.readouterr().out
         assert "doc 1\tok" in output
@@ -357,3 +359,75 @@ class TestMetricsCommands:
     def test_plain_stats_has_no_registry_tail(self, store_dir, capsys):
         assert main(["store", "--dir", store_dir, "stats"]) == 0
         assert "counters" not in capsys.readouterr().out
+
+
+class TestQueryCommand:
+    def seeded_store(self, tmp_path, backend="rel"):
+        directory = str(tmp_path / f"store-{backend}")
+        assert main(["store", "--dir", directory, "create",
+                     "--backend", backend]) == 0
+        for index in range(1, 5):
+            tree = dblp_tree(4, seed=index)
+            path = str(tmp_path / f"doc{backend}{index}.xml")
+            xml_from_tree(tree, path)
+            assert main(["store", "--dir", directory, "add",
+                         str(index), path]) == 0
+        return directory
+
+    def query_file(self, tmp_path):
+        path = str(tmp_path / "query.xml")
+        xml_from_tree(dblp_tree(4, seed=1), path)
+        return path
+
+    def test_threshold_query_with_predicates(self, tmp_path, capsys):
+        directory = self.seeded_store(tmp_path)
+        query = self.query_file(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "--dir", directory, "query", query,
+                     "--tau", "1.5", "--has-label", "author",
+                     "--explain"]) == 0
+        captured = capsys.readouterr()
+        assert "doc 1\tdistance 0.0000" in captured.out
+        assert "# plan: approx_lookup(tau=1.5) and has_label(author)" in (
+            captured.err
+        )
+        assert "# structural predicates: pushdown" in captured.err
+
+    def test_post_filter_backend_reports_mode(self, tmp_path, capsys):
+        directory = self.seeded_store(tmp_path, backend="compact")
+        query = self.query_file(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "--dir", directory, "query", query,
+                     "--tau", "1.5", "--has-label", "author",
+                     "--explain"]) == 0
+        captured = capsys.readouterr()
+        assert "# structural predicates: post-filter" in captured.err
+        assert "doc 1\tdistance 0.0000" in captured.out
+
+    def test_top_k_and_negated_predicates(self, tmp_path, capsys):
+        directory = self.seeded_store(tmp_path)
+        query = self.query_file(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "--dir", directory, "query", query,
+                     "--top-k", "2"]) == 0
+        lines = [
+            line
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("doc ")
+        ]
+        assert len(lines) == 2
+        assert main(["store", "--dir", directory, "query", query,
+                     "--tau", "2.0", "--without-label", "author"]) == 0
+        assert "no documents matched" in capsys.readouterr().out
+        assert main(["store", "--dir", directory, "query", query,
+                     "--tau", "2.0", "--has-path", "dblp/author"]) == 0
+        matched = capsys.readouterr().out
+        assert matched.count("doc ") == 4
+
+    def test_tau_and_top_k_are_exclusive(self, tmp_path, capsys):
+        directory = self.seeded_store(tmp_path)
+        query = self.query_file(tmp_path)
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            main(["store", "--dir", directory, "query", query,
+                  "--tau", "0.5", "--top-k", "2"])

@@ -157,3 +157,102 @@ class TestEq31Integration:
             tables.add_all_q_rows_from_tree(paper_tree_t0, node_id, hasher)
         expected = compute_profile(paper_tree_t0, config).label_bag(hasher)
         assert tables.label_bag() == expected
+
+
+class TestEdgeCases:
+    """Degenerate inputs the backends lean on: empty relations, empty
+    ranges, composite keys, and mixed hash+sorted conjunctions."""
+
+    def empty_table(self, name="e"):
+        return Table(
+            name,
+            Schema([Column("id", int), Column("kind", str)]),
+            primary_key=("id",),
+        )
+
+    def test_select_and_join_on_empty_tables(self):
+        left = self.empty_table("left")
+        left.create_index("by_kind", ("kind",), kind="hash")
+        right = self.empty_table("right")
+        assert select(left, Eq("kind", "even")) == []
+        assert select(left, None) == []
+        assert list(join(left, right, on=("id", "id"))) == []
+        # One empty side is enough to empty the join.
+        right.insert({"id": 1, "kind": "odd"})
+        assert list(join(left, right, on=("id", "id"))) == []
+        assert list(join(right, left, on=("id", "id"))) == []
+
+    def test_group_count_on_empty_input(self):
+        assert group_count([]) == {}
+        assert group_count(project([], self.empty_table(), ["kind"])) == {}
+
+    def test_empty_and_inverted_ranges(self):
+        table = sample_table()
+        assert select(table, Range("size", 55, 55)) == []
+        assert select(table, Range("size", 100, 10)) == []  # inverted: empty
+        assert (
+            select(table, And(Eq("parent", 1), Range("size", 500, 10))) == []
+        )
+
+    def test_composite_key_range_on_sorted_index(self):
+        table = sample_table()
+        # Equality prefix + range over the ("parent", "size") sorted key.
+        predicate = And(Eq("parent", 2), Range("size", 20, 140))
+        plan = plan_select(table, predicate)
+        assert plan.access == "sorted-index"
+        assert plan.index_name == "by_parent_size"
+        rows = select(table, predicate)
+        expected = [
+            row
+            for row in table.scan()
+            if row[3] == 2 and 20 <= row[2] <= 140
+        ]
+        assert sorted(rows) == sorted(expected)
+        # A range on the *prefix* column alone still uses the index...
+        prefix_plan = plan_select(table, Range("parent", 1, 2))
+        assert prefix_plan.access == "sorted-index"
+        # ...but a range on the suffix alone cannot: order isn't by size.
+        suffix_plan = plan_select(table, Range("size", 20, 140))
+        assert suffix_plan.access == "scan"
+        assert sorted(select(table, Range("size", 20, 140))) == sorted(
+            row for row in table.scan() if 20 <= row[2] <= 140
+        )
+
+    def test_and_mixing_hash_and_sorted_coverage(self):
+        table = sample_table()
+        # kind is hash-indexed; (parent, size) is the sorted index.  The
+        # planner picks whichever covers more conjuncts and the residual
+        # filter applies the rest — results must match a full scan.
+        predicate = And(
+            Eq("kind", "even"), Eq("parent", 2), Range("size", 0, 120)
+        )
+        plan = plan_select(table, predicate)
+        assert plan.access == "sorted-index"
+        assert plan.covered == 2
+        rows = select(table, predicate)
+        expected = [
+            row
+            for row in table.scan()
+            if row[1] == "even" and row[3] == 2 and 0 <= row[2] <= 120
+        ]
+        assert sorted(rows) == sorted(expected)
+        # Flip the balance: only the hash column is constrained.
+        hash_plan = plan_select(table, And(Eq("kind", "odd")))
+        assert hash_plan.access == "hash-index"
+        assert hash_plan.index_name == "by_kind"
+
+    def test_join_on_composite_projected_values(self):
+        table = sample_table()
+        other = Table(
+            "sizes",
+            Schema([Column("size", int), Column("note", str)]),
+            primary_key=("size",),
+        )
+        other.insert({"size": 40, "note": "forty"})
+        other.insert({"size": 160, "note": "one-sixty"})
+        pairs = list(join(table, other, on=("size", "size")))
+        assert {left[0] for left, _ in pairs} == {4, 16}
+        counts = group_count(
+            project((left for left, _ in pairs), table, ["kind"])
+        )
+        assert counts == {("even",): 2}

@@ -1,0 +1,386 @@
+"""Query-plan layer tests: plan algebra, the pre/post encoding, and
+pushdown ≡ post-filter ≡ legacy-lookup equivalence on every backend."""
+
+import random
+
+import pytest
+
+from repro.backend import make_backend
+from repro.core import GramConfig, PQGramIndex
+from repro.datasets import dblp_tree, random_labelled_tree
+from repro.errors import QueryError
+from repro.lookup import ForestIndex, LookupService
+from repro.query import (
+    And,
+    ApproxLookup,
+    HasLabel,
+    HasPath,
+    Not,
+    TopK,
+    describe,
+    execute_plan,
+    normalize_plan,
+    plan_fingerprint,
+)
+from repro.query.structural import (
+    match_rows,
+    prepost_rows,
+    tree_has_label,
+    tree_has_path,
+)
+from repro.tree import Tree
+
+CONFIG = GramConfig(2, 3)
+
+BACKENDS = [
+    ("memory", {"backend": "memory"}),
+    ("compact", {"backend": "compact"}),
+    ("sharded-2", {"backend": "sharded", "shards": 2}),
+    ("segment", {"backend": "segment"}),
+    ("rel", {"backend": "rel"}),
+]
+BACKEND_IDS = [name for name, _ in BACKENDS]
+
+
+def make_collection(count, seed):
+    rng = random.Random(seed)
+    collection = []
+    for tree_id in range(count):
+        if rng.random() < 0.5:
+            tree = random_labelled_tree(rng.randint(2, 20), seed=seed + tree_id)
+        else:
+            tree = dblp_tree(rng.randint(1, 5), seed=seed + tree_id)
+        collection.append((tree_id, tree))
+    return collection
+
+
+# ----------------------------------------------------------------------
+# plan algebra
+# ----------------------------------------------------------------------
+
+
+class TestPlanAlgebra:
+    def test_haspath_accepts_string_and_sequence(self):
+        assert HasPath("a/b/c").labels == ("a", "b", "c")
+        assert HasPath(["a", "b"]).labels == ("a", "b")
+        assert HasPath("solo").labels == ("solo",)
+
+    def test_and_flattens(self):
+        tree = random_labelled_tree(3, seed=0)
+        plan = And(And(ApproxLookup(tree, 0.5), HasLabel("a")), HasLabel("b"))
+        assert len(plan.parts) == 3
+
+    def test_normalize_splits_retrieval_and_predicates(self):
+        tree = random_labelled_tree(3, seed=0)
+        plan = And(HasLabel("x"), ApproxLookup(tree, 0.5), Not(HasPath("a/b")))
+        normalized = normalize_plan(plan)
+        assert isinstance(normalized.retrieval, ApproxLookup)
+        kinds = sorted(
+            (type(pred).__name__, negated)
+            for pred, negated in normalized.predicates
+        )
+        assert kinds == [("HasLabel", False), ("HasPath", True)]
+
+    def test_double_negation_unwraps(self):
+        tree = random_labelled_tree(3, seed=0)
+        plan = And(TopK(tree, 2), Not(Not(HasLabel("x"))))
+        ((predicate, negated),) = normalize_plan(plan).predicates
+        assert isinstance(predicate, HasLabel) and not negated
+
+    def test_rejections(self):
+        tree = random_labelled_tree(3, seed=0)
+        with pytest.raises(QueryError):
+            normalize_plan(HasLabel("x"))  # no retrieval root
+        with pytest.raises(QueryError):
+            normalize_plan(
+                And(ApproxLookup(tree, 0.5), TopK(tree, 1))
+            )  # two retrievals
+        with pytest.raises(QueryError):
+            normalize_plan(And(ApproxLookup(tree, 0.5), Not(TopK(tree, 1))))
+        with pytest.raises(QueryError):
+            normalize_plan(TopK(tree, 0))
+        with pytest.raises(QueryError):
+            normalize_plan(And(ApproxLookup(tree, 0.5), HasPath("")))
+        with pytest.raises(QueryError):
+            normalize_plan(And(ApproxLookup(tree, 0.5), HasLabel("")))
+        with pytest.raises(QueryError):
+            normalize_plan(ApproxLookup(tree, "half"))
+
+    def test_fingerprint_is_order_insensitive_for_predicates(self):
+        tree = random_labelled_tree(5, seed=1)
+        left = And(ApproxLookup(tree, 0.5), HasLabel("a"), HasPath("b/c"))
+        right = And(HasPath("b/c"), HasLabel("a"), ApproxLookup(tree, 0.5))
+        assert plan_fingerprint(left) == plan_fingerprint(right)
+
+    def test_fingerprint_separates_plans(self):
+        tree = random_labelled_tree(5, seed=1)
+        other = random_labelled_tree(5, seed=2)
+        base = plan_fingerprint(ApproxLookup(tree, 0.5))
+        assert base != plan_fingerprint(ApproxLookup(tree, 0.6))
+        assert base != plan_fingerprint(ApproxLookup(other, 0.5))
+        assert base != plan_fingerprint(TopK(tree, 3))
+        assert plan_fingerprint(
+            And(ApproxLookup(tree, 0.5), HasLabel("a"))
+        ) != plan_fingerprint(And(ApproxLookup(tree, 0.5), Not(HasLabel("a"))))
+
+    def test_describe_mentions_every_node(self):
+        tree = random_labelled_tree(3, seed=0)
+        text = describe(
+            And(ApproxLookup(tree, 0.25), HasPath("a/b"), Not(HasLabel("x")))
+        )
+        assert "approx_lookup(tau=0.25)" in text
+        assert "has_path(a/b)" in text
+        assert "not has_label(x)" in text
+
+
+# ----------------------------------------------------------------------
+# the pre/post encoding
+# ----------------------------------------------------------------------
+
+
+class TestPrePostEncoding:
+    def test_window_property_on_random_trees(self):
+        """descendant(a, d) ⟺ pre(a) < pre(d) ∧ post(d) < post(a), and
+        descendants are exactly the preorder interval of the size."""
+        for seed in range(10):
+            tree = random_labelled_tree(random.Random(seed).randint(1, 40),
+                                        seed=seed)
+            rows = prepost_rows(tree)
+            count = len(rows)
+            assert count == len(tree)
+            assert [pre for pre, _, _, _ in rows] == list(range(count))
+            assert sorted(post for _, post, _, _ in rows) == list(range(count))
+            for pre, post, size, _ in rows:
+                inside = rows[pre + 1 : pre + size]
+                for in_pre, in_post, _, _ in inside:
+                    assert pre < in_pre and in_post < post
+                outside = rows[:pre] + rows[pre + size :]
+                for out_pre, out_post, _, _ in outside:
+                    assert not (pre < out_pre and out_post < post)
+
+    def test_match_rows_equals_tree_walk(self):
+        rng = random.Random(77)
+        for seed in range(25):
+            tree = random_labelled_tree(rng.randint(1, 30), seed=seed)
+            rows = [
+                (pre, post, label)
+                for pre, post, _, label in prepost_rows(tree)
+            ]
+            labels = [tree.label(node) for node in tree.node_ids()]
+            for _ in range(6):
+                depth = rng.randint(1, 4)
+                chain = [rng.choice(labels + ["missing"]) for _ in range(depth)]
+                assert match_rows(rows, chain) == tree_has_path(tree, chain), (
+                    seed,
+                    chain,
+                )
+
+    def test_has_label_and_path_basics(self):
+        tree = Tree("a")
+        b = tree.add_child(tree.root_id, "b")
+        tree.add_child(b, "c")
+        assert tree_has_label(tree, "c")
+        assert not tree_has_label(tree, "z")
+        assert tree_has_path(tree, ("a", "c"))  # descendant axis skips b
+        assert tree_has_path(tree, ("a", "b", "c"))
+        assert not tree_has_path(tree, ("c", "a"))
+        assert not tree_has_path(tree, ("a", "a"))
+
+
+# ----------------------------------------------------------------------
+# executor equivalence
+# ----------------------------------------------------------------------
+
+
+def predicate_pool(collection):
+    labels = sorted(
+        {
+            tree.label(node)
+            for _, tree in collection
+            for node in tree.node_ids()
+        }
+    )
+    rng = random.Random(13)
+    pool = []
+    for label in labels[:4] + ["nolabel"]:
+        pool.append(HasLabel(label))
+        pool.append(Not(HasLabel(label)))
+    for _ in range(6):
+        chain = [rng.choice(labels + ["nolabel"]) for _ in range(rng.randint(2, 3))]
+        pool.append(HasPath(chain))
+        pool.append(Not(HasPath(chain)))
+    return pool
+
+
+@pytest.mark.parametrize(("name", "kwargs"), BACKENDS, ids=BACKEND_IDS)
+class TestExecutorEquivalence:
+    def test_plan_lookup_matches_legacy_lookup(self, name, kwargs):
+        """A bare retrieval plan is bit-identical to the legacy
+        ``lookup``/``nearest`` entry points on every backend."""
+        forest = ForestIndex(CONFIG, **kwargs)
+        collection = make_collection(12, seed=900)
+        forest.add_trees(collection)
+        service = LookupService(forest, auto_compact=False)
+        query = collection[4][1]
+        for tau in (0.3, 0.7, 1.0):
+            legacy = service.lookup(query, tau).matches
+            planned = service.query(ApproxLookup(query, tau)).matches
+            assert planned == legacy
+        for k in (1, 3, 50):
+            legacy = service.nearest(query, k).matches
+            planned = service.query(TopK(query, k)).matches
+            assert planned == legacy
+
+    def test_predicates_match_document_post_filter(self, name, kwargs):
+        """Plans with structural predicates produce the same matches
+        whether the backend pushes them down (rel), post-filters with
+        its own node table, or walks the source documents."""
+        forest = ForestIndex(CONFIG, **kwargs)
+        collection = make_collection(14, seed=901)
+        forest.add_trees(collection)
+        documents = dict(collection)
+        reference = ForestIndex(CONFIG, backend="memory")
+        reference.add_trees(collection)
+        rng = random.Random(5)
+        pool = predicate_pool(collection)
+        query = collection[2][1]
+        for round_number in range(12):
+            predicates = rng.sample(pool, rng.randint(1, 3))
+            if rng.random() < 0.5:
+                retrieval = ApproxLookup(query, rng.choice((0.4, 0.8, 1.2)))
+            else:
+                retrieval = TopK(query, rng.randint(1, 6))
+            plan = And(retrieval, *predicates)
+            expected = execute_plan(
+                reference, plan, documents=documents.__getitem__
+            )
+            got = execute_plan(forest, plan, documents=documents.__getitem__)
+            assert got.matches == expected.matches, (round_number, plan)
+            assert got.population == expected.population
+
+
+class TestRelPushdownProperties:
+    def test_pushdown_equals_postfilter_randomized(self):
+        """Property: on the rel backend, forcing pushdown and forcing
+        post-filter yield identical matches for random plans over
+        random forests — including the pruning ledger invariant."""
+        from repro.obsv import MetricsRegistry
+
+        for seed in range(8):
+            registry = MetricsRegistry()
+            forest = ForestIndex(CONFIG, backend="rel", metrics=registry)
+            collection = make_collection(10, seed=1000 + seed)
+            forest.add_trees(collection)
+            rng = random.Random(seed)
+            pool = predicate_pool(collection)
+            query = collection[rng.randrange(len(collection))][1]
+            for _ in range(6):
+                predicates = rng.sample(pool, rng.randint(1, 3))
+                retrieval = (
+                    ApproxLookup(query, rng.choice((0.3, 0.6, 0.9)))
+                    if rng.random() < 0.6
+                    else TopK(query, rng.randint(1, 5))
+                )
+                plan = And(retrieval, *predicates)
+                pushed = execute_plan(forest, plan, force_mode="pushdown")
+                filtered = execute_plan(forest, plan, force_mode="postfilter")
+                assert pushed.mode == "pushdown"
+                assert filtered.mode == "postfilter"
+                assert pushed.matches == filtered.matches, plan
+            assert registry.counter_value(
+                "lookup_candidates_total"
+            ) == registry.counter_value(
+                "lookup_candidates_pruned_total"
+            ) + registry.counter_value("lookup_candidates_scored_total")
+
+    def test_pushdown_counts_structural_rejections_as_pruned(self):
+        from repro.obsv import MetricsRegistry
+
+        registry = MetricsRegistry()
+        forest = ForestIndex(CONFIG, backend="rel", metrics=registry)
+        collection = make_collection(10, seed=42)
+        forest.add_trees(collection)
+        query = collection[0][1]
+        plan = And(ApproxLookup(query, 1.5), HasLabel("nolabel"))
+        execution = execute_plan(forest, plan)
+        assert execution.mode == "pushdown"
+        assert execution.matches == []
+        assert registry.counter_value("lookup_candidates_pruned_total") == len(
+            collection
+        )
+        assert registry.counter_value("query_plans_total", mode="pushdown") == 1
+
+    def test_force_pushdown_without_encoding_raises(self):
+        forest = ForestIndex(CONFIG, backend="memory")
+        forest.add_trees(make_collection(4, seed=3))
+        query = random_labelled_tree(5, seed=3)
+        plan = And(ApproxLookup(query, 0.5), HasLabel("a"))
+        with pytest.raises(QueryError):
+            execute_plan(forest, plan, force_mode="pushdown")
+
+    def test_predicates_without_documents_raise_on_plain_backends(self):
+        forest = ForestIndex(CONFIG, backend="memory")
+        forest.add_trees(make_collection(4, seed=3))
+        query = random_labelled_tree(5, seed=3)
+        with pytest.raises(QueryError):
+            execute_plan(forest, And(ApproxLookup(query, 0.5), HasLabel("a")))
+
+
+class TestServicePlanCache:
+    def test_serving_mode_caches_by_plan_fingerprint(self):
+        from repro.obsv import MetricsRegistry
+
+        forest = ForestIndex(CONFIG, backend="rel", metrics=MetricsRegistry())
+        collection = make_collection(8, seed=77)
+        forest.add_trees(collection)
+        service = LookupService(forest, snapshot_reads=True)
+        query = collection[1][1]
+        plan = And(ApproxLookup(query, 0.8), HasLabel("a"))
+        first = service.query(plan)
+        hits_before = forest.metrics.counter_value("result_cache_hits_total")
+        second = service.query(
+            And(HasLabel("a"), ApproxLookup(query, 0.8))  # same fingerprint
+        )
+        assert second.matches == first.matches
+        assert (
+            forest.metrics.counter_value("result_cache_hits_total")
+            == hits_before + 1
+        )
+        # A different tau fingerprints differently: no further hit.
+        service.query(And(ApproxLookup(query, 0.9), HasLabel("a")))
+        assert (
+            forest.metrics.counter_value("result_cache_hits_total")
+            == hits_before + 1
+        )
+        # force_mode bypasses the cache entirely.
+        service.query(plan, force_mode="postfilter")
+        assert (
+            forest.metrics.counter_value("result_cache_hits_total")
+            == hits_before + 1
+        )
+        # A write bumps the generation, invalidating the cached entry.
+        forest.add_tree(99, random_labelled_tree(6, seed=99))
+        service.query(plan)
+        assert (
+            forest.metrics.counter_value("result_cache_hits_total")
+            == hits_before + 1
+        )
+
+    def test_store_query_round_trip(self, tmp_path):
+        from repro.service import DocumentStore
+
+        collection = make_collection(10, seed=55)
+        directory = str(tmp_path / "store")
+        with DocumentStore(directory, CONFIG, backend="rel") as store:
+            store.add_documents(collection)
+            query = collection[3][1]
+            plan = And(ApproxLookup(query, 0.9), HasLabel("a"))
+            pushed = store.query(plan)
+            assert pushed.extra["pushdown"] == 1.0
+            expected = store.query(plan, force_mode="postfilter").matches
+            assert pushed.matches == expected
+        with DocumentStore(directory) as reopened:
+            assert reopened.backend_name == "rel"
+            again = reopened.query(plan)
+            assert again.matches == pushed.matches
+            assert again.extra["pushdown"] == 1.0
