@@ -21,12 +21,17 @@ within ``METRICS_OVERHEAD_TOLERANCE``), plus the structural-pushdown
 check (rare-label query over a 10k-tree DBLP-like forest on the rel
 backend — pushing the predicate into the sweep must not lose to
 post-filtering, ``query_pushdown_ratio`` ≤
-``QUERY_PUSHDOWN_TOLERANCE``, bit-identical matches), writes
+``QUERY_PUSHDOWN_TOLERANCE``, bit-identical matches), plus the
+standing-query check (32 registered plans over a 10k-document forest
+under streaming edits — Δ-routed incremental maintenance must beat
+naive per-batch re-evaluation by ≥ 5x,
+``standing_incremental_ratio`` ≤ ``STREAMING_INCREMENTAL_TOLERANCE``,
+membership-identical arms, BENCH_stream.json), writes
 machine-readable results to ``benchmarks/results/BENCH_lookup.json``
 / ``BENCH_backend.json`` / ``BENCH_update.json`` /
 ``BENCH_maintain.json`` / ``BENCH_metrics.json`` /
 ``BENCH_segment.json`` / ``BENCH_size.json`` /
-``BENCH_query.json``, and exits non-zero
+``BENCH_query.json`` / ``BENCH_stream.json``, and exits non-zero
 when any measured wall time regresses more than ``TOLERANCE``× against
 the checked-in baseline::
 
@@ -89,6 +94,11 @@ COMPRESS_LOOKUP_TOLERANCE = 1.15
 #: selectivity — pruning before scoring must not lose to filtering after
 QUERY_PUSHDOWN_TOLERANCE = 1.0
 
+#: incremental standing-query maintenance vs naive per-batch
+#: re-evaluation of every registered plan — Δ-key routing must beat
+#: the full sweep by at least 5x at 10k documents / 32 queries
+STREAMING_INCREMENTAL_TOLERANCE = 0.2
+
 LOOKUP_BUDGET = 60_000
 LOOKUP_TREE_COUNTS = (16, 64, 256)
 LOOKUP_TAU = 0.8
@@ -103,6 +113,9 @@ SIZE_TREE_COUNT = 10_000
 QUERY_TREE_COUNT = 10_000
 QUERY_SELECTIVITY = 0.10
 QUERY_RARE_LABEL = "rare-venue"
+STREAM_TREE_COUNT = 10_000
+STREAM_QUERY_COUNT = 32
+STREAM_BATCHES = 8
 CONFIG = GramConfig(3, 3)
 
 
@@ -515,6 +528,28 @@ def measure_query() -> Dict[str, float]:
     }
 
 
+def measure_streaming() -> Dict[str, float]:
+    """Standing-query gate: incremental Δ-routing vs naive polling.
+
+    ``STREAM_QUERY_COUNT`` lookup plans stand against a
+    ``STREAM_TREE_COUNT``-document DBLP-like forest while
+    ``STREAM_BATCHES`` edit batches stream in.  Per batch the
+    incremental arm routes the net delta bags through the
+    subscription index (touched queries re-score one document each);
+    the naive arm re-executes every plan over the whole forest and
+    diffs the memberships.  Both arms are asserted membership-identical
+    after every batch, and ``standing_incremental_ratio`` must stay at
+    or under ``STREAMING_INCREMENTAL_TOLERANCE`` — the subsystem's
+    reason to exist is that maintenance cost scales with the delta,
+    not with the collection.  Sustained-ingest notification latency
+    (per-batch maintenance wall time, mean/p95/max) rides along in
+    ``BENCH_stream.json``.
+    """
+    from bench_streaming_queries import run_stream
+
+    return run_stream(STREAM_TREE_COUNT, STREAM_QUERY_COUNT, STREAM_BATCHES)
+
+
 def run(rebaseline: bool, tolerance: float = TOLERANCE) -> int:
     lookup = measure_lookup()
     backend = measure_backend()
@@ -524,6 +559,7 @@ def run(rebaseline: bool, tolerance: float = TOLERANCE) -> int:
     size = measure_size()
     metrics = measure_metrics_overhead()
     query = measure_query()
+    stream = measure_streaming()
     for name, payload in (
         ("BENCH_lookup.json", lookup),
         ("BENCH_backend.json", backend),
@@ -533,6 +569,7 @@ def run(rebaseline: bool, tolerance: float = TOLERANCE) -> int:
         ("BENCH_size.json", size),
         ("BENCH_metrics.json", metrics),
         ("BENCH_query.json", query),
+        ("BENCH_stream.json", stream),
     ):
         with open(results_path(name), "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
@@ -640,6 +677,24 @@ def run(rebaseline: bool, tolerance: float = TOLERANCE) -> int:
         f"post-filter {query['query_postfilter_ms']:.3f} ms, "
         f"limit {QUERY_PUSHDOWN_TOLERANCE:.2f}x) "
         + ("REGRESSION" if pushdown_ratio > QUERY_PUSHDOWN_TOLERANCE
+           else "ok")
+    )
+    incremental_ratio = stream["standing_incremental_ratio"]
+    if incremental_ratio > STREAMING_INCREMENTAL_TOLERANCE:
+        overhead_failures.append(
+            f"standing_incremental_ratio: {incremental_ratio:.4f} "
+            f"(> {STREAMING_INCREMENTAL_TOLERANCE:.2f}x) — Δ-routed "
+            f"standing-query maintenance lost its 5x edge over naive "
+            f"re-evaluation at {STREAM_TREE_COUNT} documents / "
+            f"{STREAM_QUERY_COUNT} queries"
+        )
+    print(
+        f"  standing_incremental_ratio: {incremental_ratio:.4f} "
+        f"(incremental {stream['stream_incremental_ms_per_batch']:.3f} "
+        f"ms/batch / naive {stream['stream_naive_ms_per_batch']:.3f} "
+        f"ms/batch, p95 latency {stream['stream_latency_p95_ms']:.3f} ms, "
+        f"limit {STREAMING_INCREMENTAL_TOLERANCE:.2f}x) "
+        + ("REGRESSION" if incremental_ratio > STREAMING_INCREMENTAL_TOLERANCE
            else "ok")
     )
     compress_ratio = size["compress_lookup_ratio"]

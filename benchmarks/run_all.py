@@ -28,6 +28,7 @@ MODULES = (
     "bench_ablation_subtree_moves.py",
     "bench_ablation_overlap_merge.py",
     "bench_query_pushdown.py",
+    "bench_streaming_queries.py",
 )
 
 

@@ -336,6 +336,61 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     soak_parser.add_argument("--tau", type=float, default=0.6)
     soak_parser.add_argument("--seed", type=int, default=0)
+    soak_parser.add_argument(
+        "--standing", type=int, default=0, metavar="Q",
+        help="register Q standing queries before the run and assert "
+        "continuous notification correctness (default 0)",
+    )
+
+    watch_parser = store_commands.add_parser(
+        "watch",
+        help="register a standing query: matches are maintained "
+        "incrementally from each write batch's delta pq-grams and "
+        "membership changes stream out as enter/leave/update events",
+    )
+    watch_parser.add_argument("file", help="XML query document")
+    watch_group = watch_parser.add_mutually_exclusive_group()
+    watch_group.add_argument(
+        "--tau",
+        type=float,
+        default=None,
+        help="distance threshold (default 0.5 unless --top-k is given)",
+    )
+    watch_group.add_argument(
+        "--top-k", type=int, default=None, metavar="K",
+        help="watch the K nearest matches instead of thresholding",
+    )
+    watch_parser.add_argument(
+        "--has-path", action="append", default=[], metavar="A/B/C",
+        help="keep only documents containing this label chain (repeatable)",
+    )
+    watch_parser.add_argument(
+        "--has-label", action="append", default=[], metavar="LABEL",
+        help="keep only documents containing this label (repeatable)",
+    )
+    watch_parser.add_argument(
+        "--without-path", action="append", default=[], metavar="A/B/C",
+        help="drop documents containing this label chain (repeatable)",
+    )
+    watch_parser.add_argument(
+        "--without-label", action="append", default=[], metavar="LABEL",
+        help="drop documents containing this label (repeatable)",
+    )
+    watch_parser.add_argument(
+        "--id", default="watch", metavar="QUERY_ID",
+        help="standing query id (default 'watch')",
+    )
+    watch_parser.add_argument(
+        "--feed", default=None, metavar="FILE",
+        help="ingest a feed of document versions ('DOC_ID XML_PATH' per "
+        "line) and print each notification as it fires",
+    )
+    watch_parser.add_argument(
+        "--keep",
+        action="store_true",
+        help="leave the subscription registered at exit (it persists in "
+        "the store checkpoint; without this flag it is unsubscribed)",
+    )
     return parser
 
 
@@ -439,6 +494,27 @@ def _command_store(arguments: argparse.Namespace) -> int:
             store.close()
 
 
+def _plan_from_arguments(arguments: argparse.Namespace):
+    """The shared plan builder of ``store query`` and ``store watch``:
+    one retrieval root (τ threshold or top-k) plus the repeatable
+    structural predicate flags."""
+    from repro.query import And, ApproxLookup, HasLabel, HasPath, Not, TopK
+
+    query = tree_from_xml(arguments.file)
+    if arguments.top_k is not None:
+        retrieval = TopK(query, arguments.top_k)
+    else:
+        retrieval = ApproxLookup(
+            query, 0.5 if arguments.tau is None else arguments.tau
+        )
+    parts = [retrieval]
+    parts.extend(HasPath(path) for path in arguments.has_path)
+    parts.extend(HasLabel(label) for label in arguments.has_label)
+    parts.extend(Not(HasPath(path)) for path in arguments.without_path)
+    parts.extend(Not(HasLabel(label)) for label in arguments.without_label)
+    return parts[0] if len(parts) == 1 else And(*parts)
+
+
 def _run_store_command(
     store: DocumentStore, arguments: argparse.Namespace
 ) -> int:
@@ -497,29 +573,9 @@ def _run_store_command(
         for document_id, distance in result.matches:
             print(f"doc {document_id}\tdistance {distance:.4f}")
     elif arguments.store_command == "query":
-        from repro.query import (
-            And,
-            ApproxLookup,
-            HasLabel,
-            HasPath,
-            Not,
-            TopK,
-            describe,
-        )
+        from repro.query import describe
 
-        query = tree_from_xml(arguments.file)
-        if arguments.top_k is not None:
-            retrieval = TopK(query, arguments.top_k)
-        else:
-            retrieval = ApproxLookup(
-                query, 0.5 if arguments.tau is None else arguments.tau
-            )
-        parts = [retrieval]
-        parts.extend(HasPath(path) for path in arguments.has_path)
-        parts.extend(HasLabel(label) for label in arguments.has_label)
-        parts.extend(Not(HasPath(path)) for path in arguments.without_path)
-        parts.extend(Not(HasLabel(label)) for label in arguments.without_label)
-        plan = parts[0] if len(parts) == 1 else And(*parts)
+        plan = _plan_from_arguments(arguments)
         result = store.query(plan)
         if arguments.explain:
             mode = "pushdown" if result.extra.get("pushdown") else "post-filter"
@@ -580,6 +636,51 @@ def _run_store_command(
             f"({stats.candidate_pairs}/{stats.total_pairs} pairs shared pq-grams)",
             file=sys.stderr,
         )
+    elif arguments.store_command == "watch":
+        plan = _plan_from_arguments(arguments)
+
+        def print_notification(event) -> None:
+            print(
+                f"{event.kind}\tdoc {event.document_id}"
+                f"\tdistance {event.distance:.4f}\tseq {event.seq}"
+            )
+
+        matches = store.subscribe(
+            arguments.id, plan, listener=print_notification
+        )
+        print(
+            f"# standing query {arguments.id!r}: "
+            f"{len(matches)} initial match(es)",
+            file=sys.stderr,
+        )
+        for document_id, distance in matches:
+            print(f"doc {document_id}\tdistance {distance:.4f}")
+        if arguments.feed is not None:
+            from repro.stream import ingest_snapshot
+
+            with open(arguments.feed, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line or line.startswith("#"):
+                        continue
+                    document_id_text, xml_path = line.split(None, 1)
+                    outcome, operation_count = ingest_snapshot(
+                        store, int(document_id_text), tree_from_xml(xml_path)
+                    )
+                    print(
+                        f"# feed: doc {document_id_text} {outcome} "
+                        f"({operation_count} operation(s))",
+                        file=sys.stderr,
+                    )
+            store.flush()
+        if arguments.keep:
+            print(
+                f"# subscription {arguments.id!r} kept "
+                "(durable in the store checkpoint)",
+                file=sys.stderr,
+            )
+        else:
+            store.unsubscribe(arguments.id)
     elif arguments.store_command == "soak":
         from repro.service.soak import run_soak
 
@@ -597,6 +698,7 @@ def _run_store_command(
             tree_size=arguments.tree_size,
             tau=arguments.tau,
             seed=arguments.seed,
+            standing_queries=arguments.standing,
         )
         print(report.summary())
         return 0 if report.ok else 1

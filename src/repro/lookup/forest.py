@@ -470,7 +470,7 @@ class ForestIndex:
         engine: str = "replay",
         compact: Optional[bool] = None,
         jobs: Optional[int] = None,
-    ) -> None:
+    ) -> Tuple[Bag, Bag]:
         """Incrementally maintain one tree's index after edits.
 
         ``tree`` is the resulting document and ``log`` the inverse
@@ -478,6 +478,8 @@ class ForestIndex:
         The net delta bags of the update are handed to the backend,
         which touches only the O(|Δ|) keys whose multiplicity changed
         rather than un-inverting and re-inverting the whole bag.
+        Returns the applied ``(minus, plus)`` net delta bags — the
+        Δ-keys consumers like the standing-query engine route on.
 
         ``engine`` selects ``"replay"`` (default) or ``"batch"`` (the
         batched engine: log compaction, commuting groups, optionally
@@ -524,6 +526,7 @@ class ForestIndex:
         self._m_maintain_batches[engine].inc()
         self._m_maintain_ops.inc(len(log))
         self._m_maintain_delta_keys.inc(len(minus) + len(plus))
+        return minus, plus
 
     # ------------------------------------------------------------------
     # access

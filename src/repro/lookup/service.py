@@ -219,16 +219,19 @@ class LookupService:
         engine: str = "replay",
         compact: Optional[bool] = None,
         jobs: Optional[int] = None,
-    ) -> None:
+    ):
         """Incrementally maintain one forest tree through the service.
 
         Thin pass-through to :meth:`ForestIndex.update_tree` (same
         engine semantics) so embedders that only hold the service can
         run maintenance; the forest invalidates its postings snapshot,
         and the query cache needs no flushing — it is keyed by query
-        fingerprint, not by forest state.
+        fingerprint, not by forest state.  Returns the applied
+        ``(minus, plus)`` net delta bags, so embedders can route the
+        Δ-keys onward (e.g. into a
+        :class:`repro.stream.StandingQueryEngine`).
         """
-        self.forest.update_tree(
+        return self.forest.update_tree(
             tree_id, tree, log, engine=engine, compact=compact, jobs=jobs
         )
 

@@ -26,6 +26,7 @@ from repro.query.plan import (
     TopK,
     describe,
     normalize_plan,
+    normalize_tau,
     plan_fingerprint,
 )
 
@@ -42,6 +43,7 @@ __all__ = [
     "describe",
     "execute_plan",
     "normalize_plan",
+    "normalize_tau",
     "plan_fingerprint",
     "scan_distances",
 ]

@@ -183,6 +183,24 @@ def _predicate_fingerprint(entry: PredicateEntry) -> Tuple:
     return ("not", fingerprint) if negated else fingerprint
 
 
+def normalize_tau(tau: "Union[int, float]") -> str:
+    """The canonical identity of one τ threshold: the exact hex text
+    of its IEEE-754 double.
+
+    ``plan_fingerprint`` must distinguish τ values that differ *only*
+    in their float representation — ``0.5`` vs ``0.50000000000001``
+    select different neighborhoods whenever a document's distance lies
+    between them, so their cached results must never be shared — while
+    numerically equal spellings (``1`` vs ``1.0`` vs ``Fraction(1, 2)``
+    for ``0.5``) must keep colliding.  ``float.hex()`` is exactly that
+    map: injective over distinct doubles (where repr-rounding or a
+    raw float in the key tuple can betray either property — NaN, for
+    one, is unequal to itself and poisons tuple equality), constant
+    over equal numerics.
+    """
+    return float(tau).hex()
+
+
 def plan_fingerprint(plan: Plan) -> Tuple:
     """A stable, hashable identity of the plan's *logical* content.
 
@@ -190,6 +208,9 @@ def plan_fingerprint(plan: Plan) -> Tuple:
     predicate set in any order) fingerprint identically — this keys
     the serving layer's per-generation result cache, replacing the
     bare ``(query fingerprint, tau)`` key of the pre-plan read path.
+    τ is normalized through :func:`normalize_tau`, so thresholds that
+    differ only past the usual print precision still key distinct
+    cache entries.
     """
     from repro.tree.fingerprint import tree_fingerprint
 
@@ -199,7 +220,7 @@ def plan_fingerprint(plan: Plan) -> Tuple:
         head: Tuple = (
             "approx",
             tree_fingerprint(retrieval.query),
-            float(retrieval.tau),
+            normalize_tau(retrieval.tau),
         )
     else:
         head = ("topk", tree_fingerprint(retrieval.query), retrieval.k)  # type: ignore[attr-defined]

@@ -51,6 +51,8 @@ class SoakReport:
     batches_applied: int = 0
     operations_applied: int = 0
     lookups_served: int = 0
+    standing_queries: int = 0
+    notifications_delivered: int = 0
     errors: List[str] = field(default_factory=list)
 
     @property
@@ -65,8 +67,13 @@ class SoakReport:
             f"  edit batches applied: {self.batches_applied}",
             f"  edit operations:      {self.operations_applied}",
             f"  lookups served:       {self.lookups_served}",
-            f"  errors:               {len(self.errors)}",
         ]
+        if self.standing_queries:
+            lines.append(
+                f"  standing queries:     {self.standing_queries} "
+                f"({self.notifications_delivered} notification(s))"
+            )
+        lines.append(f"  errors:               {len(self.errors)}")
         lines.extend(f"    {error}" for error in self.errors[:10])
         return "\n".join(lines)
 
@@ -81,6 +88,7 @@ def run_soak(
     tree_size: int = 40,
     tau: float = 0.6,
     seed: int = 0,
+    standing_queries: int = 0,
 ) -> SoakReport:
     """Run the concurrent soak workload against an open store.
 
@@ -88,6 +96,14 @@ def run_soak(
     store's current maximum), then runs the writer/reader threads until
     the deadline and flushes.  The store is left populated — callers
     follow up with their own verification (``store verify``).
+
+    ``standing_queries`` > 0 additionally registers that many standing
+    queries before the threads start and asserts *continuous
+    correctness*: every delivered notification must be coherent with
+    the membership the listener has accumulated (an enter while a
+    member, or a leave/update while not, is an error), and after the
+    run each query's incremental membership must equal a full
+    re-evaluation of its plan.  Violations land in ``report.errors``.
     """
     if writers < 1 or readers < 0:
         raise ValueError("need at least one writer and no negative readers")
@@ -103,8 +119,59 @@ def run_soak(
         readers=readers,
         duration_seconds=duration,
         documents=len(documents),
+        standing_queries=max(0, standing_queries),
     )
     counter_mutex = threading.Lock()
+
+    # Standing queries: listeners validate the event stream as it is
+    # delivered (the appender thread serializes dispatch, so each
+    # tracker sees its events in commit order).
+    standing: List[tuple] = []  # (query_id, plan, tracker members dict)
+
+    def make_listener(query_id: str, members: dict) -> "callable":
+        def listener(event) -> None:
+            with counter_mutex:
+                report.notifications_delivered += 1
+                held = event.document_id in members
+                if event.kind == "enter":
+                    if held:
+                        report.errors.append(
+                            f"standing {query_id}: enter for member "
+                            f"{event.document_id}"
+                        )
+                    members[event.document_id] = event.distance
+                elif event.kind == "leave":
+                    if not held:
+                        report.errors.append(
+                            f"standing {query_id}: leave for non-member "
+                            f"{event.document_id}"
+                        )
+                    members.pop(event.document_id, None)
+                else:
+                    if not held:
+                        report.errors.append(
+                            f"standing {query_id}: update for non-member "
+                            f"{event.document_id}"
+                        )
+                    members[event.document_id] = event.distance
+
+        return listener
+
+    from repro.query import ApproxLookup
+
+    for number in range(max(0, standing_queries)):
+        query_id = f"soak-q{number}"
+        plan = ApproxLookup(
+            random_tree(rng, max(4, tree_size // 2)),
+            tau if number % 2 == 0 else min(1.5, tau + 0.4),
+        )
+        members: dict = {}
+        matches = store.subscribe(
+            query_id, plan, listener=make_listener(query_id, members)
+        )
+        members.update(dict(matches))
+        standing.append((query_id, plan, members))
+
     deadline = time.monotonic() + duration
 
     def write_loop(worker: int) -> None:
@@ -168,4 +235,24 @@ def run_soak(
     for thread in threads:
         thread.join()
     store.flush()
+    # Final standing-query verification: the listener-accumulated view,
+    # the engine's incremental membership, and a from-scratch plan
+    # evaluation must all agree once the write queue is drained.
+    for query_id, plan, members in standing:
+        incremental = store.standing_matches(query_id)
+        with counter_mutex:
+            replayed = sorted(
+                members.items(), key=lambda pair: (pair[1], pair[0])
+            )
+        if replayed != incremental:
+            report.errors.append(
+                f"standing {query_id}: listener view diverged from "
+                f"incremental membership"
+            )
+        oracle = store.query(plan).matches
+        if incremental != oracle:
+            report.errors.append(
+                f"standing {query_id}: incremental membership diverged "
+                f"from full re-evaluation"
+            )
     return report

@@ -45,11 +45,12 @@ recovered documents — slower, never wrong.
 
 from __future__ import annotations
 
+import json
 import os
 import shutil
 import threading
 import uuid
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.concurrency.coalesce import PendingBatch, WriteCoalescer
 from repro.concurrency.refreeze import RefreezeWorker
@@ -64,6 +65,7 @@ from repro.lookup.service import LookupResult, LookupService
 from repro.obsv.metrics import MetricsRegistry, resolve_registry
 from repro.relstore.database import Database
 from repro.relstore.schema import Column, Schema
+from repro.stream.standing import Notification, StandingQueryEngine
 from repro.tree.traversal import preorder
 from repro.tree.tree import Tree
 
@@ -137,6 +139,10 @@ class DocumentStore:
         # folded into it, so recovery can number the replayed tail.
         self._commit_seq = 0
         self._store_uuid = ""
+        # The standing-query engine attaches once the forest exists —
+        # recovery builds it after WAL replay so reconciliation sees
+        # the final recovered state.
+        self._standing: Optional[StandingQueryEngine] = None
         os.makedirs(directory, exist_ok=True)
         if os.path.exists(self._snapshot_path()):
             with (
@@ -155,6 +161,7 @@ class DocumentStore:
             self._forest = self._make_forest(
                 config or GramConfig(), backend, shards
             )
+            self._standing = self._make_standing_engine()
             self._checkpoint()
         # Serving machinery starts only after recovery is complete, so
         # the appender and refreeze threads never see a half-recovered
@@ -241,6 +248,11 @@ class DocumentStore:
             forest.backend.set_source(self._store_uuid)  # type: ignore[attr-defined]
         return forest
 
+    def _make_standing_engine(self) -> StandingQueryEngine:
+        return StandingQueryEngine(
+            self._forest, documents=self._require, metrics=self._metrics
+        )
+
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
@@ -298,7 +310,9 @@ class DocumentStore:
                 raise StorageError(f"document id {document_id} already exists")
             self._documents[document_id] = tree.copy()
             self._forest.add_tree(document_id, tree)
+            events = self._standing_on_add(document_id)
             self._checkpoint()
+        self._dispatch_events(events)
 
     def add_documents(
         self, items: Sequence[Tuple[int, Tree]], jobs: Optional[int] = None
@@ -320,18 +334,23 @@ class DocumentStore:
                 seen.add(document_id)
             copies = [(document_id, tree.copy()) for document_id, tree in items]
             self._forest.add_trees(copies, jobs=jobs)
+            events: List[Notification] = []
             for document_id, tree in copies:
                 self._documents[document_id] = tree
+                events.extend(self._standing_on_add(document_id))
             self._checkpoint()
+        self._dispatch_events(events)
 
     def remove_document(self, document_id: int) -> None:
         """Drop a document and its index (checkpointed immediately)."""
         self.flush()
         with self._mutex:
             self._require(document_id)
+            events = self._standing_on_remove(document_id)
             del self._documents[document_id]
             self._forest.remove_tree(document_id)
             self._checkpoint()
+        self._dispatch_events(events)
 
     def apply_edits(
         self,
@@ -373,7 +392,7 @@ class DocumentStore:
             log = EditScript(list(operations)).apply(document)
             # Incremental maintenance: the forest re-inverts only the
             # keys the edit batch actually changed.
-            self._forest.update_tree(
+            minus, plus = self._forest.update_tree(
                 document_id,
                 document,
                 log,
@@ -381,12 +400,19 @@ class DocumentStore:
                 compact=compact,
                 jobs=jobs if jobs is not None else self._jobs,
             )
+            # The same Δ-keys route the batch to interested standing
+            # queries; the inverse log carries the Move markers the
+            # predicate skip rule must see.
+            events = self._standing_on_delta(
+                document_id, minus, plus, self._commit_seq, log
+            )
         self._m_edit_batches.inc()
         self._m_edit_ops.inc(len(operations))
 
         self._batches_since_checkpoint += 1
         if self._batches_since_checkpoint >= self._checkpoint_every:
             self._checkpoint()
+        self._dispatch_events(events)
 
     def _apply_group(self, group: "List[PendingBatch]") -> None:
         """Group-commit one drained queue (appender thread only).
@@ -399,6 +425,7 @@ class DocumentStore:
         shadows are published, and each document gets a single batched
         maintenance call over its concatenated inverse log.
         """
+        events: List[Notification] = []
         with self._mutex, self._metrics.span("store.apply_group"):
             shadows: Dict[int, Tree] = {}
             logs: Dict[int, List[EditOperation]] = {}
@@ -437,12 +464,21 @@ class DocumentStore:
                     continue  # every batch for this document failed
                 self._documents[document_id] = shadow
                 self._forest.backend.note_commit_seq(sequences[document_id])
-                self._forest.update_tree(
+                minus, plus = self._forest.update_tree(
                     document_id,
                     shadow,
                     logs[document_id],
                     engine="batch",
                     jobs=self._jobs,
+                )
+                events.extend(
+                    self._standing_on_delta(
+                        document_id,
+                        minus,
+                        plus,
+                        sequences[document_id],
+                        logs[document_id],
+                    )
                 )
             for pending in valid:
                 self._m_edit_batches.inc()
@@ -450,6 +486,9 @@ class DocumentStore:
             self._batches_since_checkpoint += len(valid)
             if self._batches_since_checkpoint >= self._checkpoint_every:
                 self._checkpoint()
+        # Listener callbacks run outside the store mutex so they can
+        # never block (or deadlock) the appender's group commit.
+        self._dispatch_events(events)
         if self._refreezer is not None:
             self._refreezer.notify()
 
@@ -482,6 +521,94 @@ class DocumentStore:
         return self._service.query(
             plan, documents=self._require, force_mode=force_mode
         )
+
+    # ------------------------------------------------------------------
+    # standing queries
+    # ------------------------------------------------------------------
+
+    def subscribe(
+        self,
+        query_id: str,
+        plan,
+        listener: "Optional[Callable[[Notification], None]]" = None,
+    ) -> List[Tuple[int, float]]:
+        """Register a standing query and return its initial matches.
+
+        The subscription is durable: it is written into the checkpoint
+        together with the query's current membership, so a reopened
+        store resumes notification exactly where the event stream left
+        off (recovery emits the catch-up events the downtime swallowed,
+        never a duplicate).  ``listener`` — called synchronously on the
+        committing thread, outside the store mutex — is process-local
+        and must be re-attached after reopen.
+        """
+        self.flush()
+        with self._mutex:
+            matches = self._standing_engine().subscribe(
+                query_id, plan, listener
+            )
+            self._checkpoint()
+        return matches
+
+    def unsubscribe(self, query_id: str) -> None:
+        """Drop a standing query (checkpointed immediately)."""
+        self.flush()
+        with self._mutex:
+            self._standing_engine().unsubscribe(query_id)
+            self._checkpoint()
+
+    def attach_listener(
+        self, query_id: str, listener: "Callable[[Notification], None]"
+    ) -> None:
+        """(Re)bind the process-local listener of one standing query —
+        the reopen companion of :meth:`subscribe`'s ``listener``."""
+        self._standing_engine().attach_listener(query_id, listener)
+
+    def standing_query_ids(self) -> List[str]:
+        """Ids of all registered standing queries."""
+        return self._standing_engine().query_ids()
+
+    def standing_matches(self, query_id: str) -> List[Tuple[int, float]]:
+        """Current neighborhood of one standing query, nearest first."""
+        self.flush()
+        return self._standing_engine().matches(query_id)
+
+    def drain_notifications(self) -> List[Notification]:
+        """All buffered notifications since the last drain (including
+        recovery catch-up events), in commit order."""
+        self.flush()
+        return self._standing_engine().drain()
+
+    def _standing_engine(self) -> StandingQueryEngine:
+        if self._standing is None:
+            self._standing = self._make_standing_engine()
+        return self._standing
+
+    def _standing_on_add(self, document_id: int) -> List[Notification]:
+        if self._standing is None or not len(self._standing):
+            return []
+        return self._standing.on_add(document_id, self._commit_seq)
+
+    def _standing_on_remove(self, document_id: int) -> List[Notification]:
+        if self._standing is None or not len(self._standing):
+            return []
+        return self._standing.on_remove(document_id, self._commit_seq)
+
+    def _standing_on_delta(
+        self,
+        document_id: int,
+        minus,
+        plus,
+        seq: int,
+        operations: Sequence[EditOperation],
+    ) -> List[Notification]:
+        if self._standing is None or not len(self._standing):
+            return []
+        return self._standing.on_delta(document_id, minus, plus, seq, operations)
+
+    def _dispatch_events(self, events: List[Notification]) -> None:
+        if events and self._standing is not None:
+            self._standing.dispatch(events)
 
     def checkpoint(self) -> None:
         """Force a snapshot + WAL truncation."""
@@ -696,6 +823,13 @@ class DocumentStore:
         [Column("treeId", int), Column("pqg", tuple), Column("cnt", int)]
     )
     _META_SCHEMA = Schema([Column("key", str), Column("value", str)])
+    # Standing queries: the registered plans (JSON spec) and their
+    # membership at checkpoint time — the durable notification
+    # frontier recovery reconciles against.
+    _SUBS_SCHEMA = Schema([Column("queryId", str), Column("spec", str)])
+    _STANDING_SCHEMA = Schema(
+        [Column("queryId", str), Column("docId", int), Column("dist", float)]
+    )
 
     def _checkpoint(self) -> None:
         with (
@@ -761,6 +895,28 @@ class DocumentStore:
                     indexes.insert(
                         {"treeId": document_id, "pqg": key, "cnt": count}
                     )
+        if self._standing is not None and len(self._standing):
+            subs = database.create_table("subs", self._SUBS_SCHEMA, ("queryId",))
+            standing = database.create_table(
+                "standing", self._STANDING_SCHEMA, ("queryId", "docId")
+            )
+            for query_id, spec, members in (
+                self._standing.describe_subscriptions()
+            ):
+                subs.insert(
+                    {
+                        "queryId": query_id,
+                        "spec": json.dumps(spec, sort_keys=True),
+                    }
+                )
+                for document_id, distance in sorted(members.items()):
+                    standing.insert(
+                        {
+                            "queryId": query_id,
+                            "docId": document_id,
+                            "dist": distance,
+                        }
+                    )
         database.save(self._snapshot_path())
         # The snapshot covers everything: truncate the WAL.
         with open(self._wal_path(), "w", encoding="utf-8") as handle:
@@ -804,6 +960,25 @@ class DocumentStore:
                     row["parId"], row["label"], node_id=row["nodeId"]  # type: ignore[arg-type]
                 )
             self._documents[document_id] = tree
+        # Persisted standing queries (absent from pre-stream snapshots):
+        # plan specs plus the membership frontier the last checkpoint
+        # recorded — restored and reconciled once the forest is final.
+        persisted_subs: List[Tuple[str, Dict[str, object], Dict[int, float]]] = []
+        if "subs" in database:
+            memberships: Dict[str, Dict[int, float]] = {}
+            if "standing" in database:
+                for row in database.table("standing").scan_dicts():
+                    memberships.setdefault(row["queryId"], {})[
+                        row["docId"]
+                    ] = row["dist"]
+            for row in database.table("subs").scan_dicts():
+                persisted_subs.append(
+                    (
+                        row["queryId"],
+                        json.loads(row["spec"]),
+                        memberships.get(row["queryId"], {}),
+                    )
+                )
         if backend == "segment":
             rebuilt = self._recover_segment_forest(config)
         elif backend == "rel":
@@ -876,6 +1051,16 @@ class DocumentStore:
             if truncate is not None:
                 truncate(self._commit_seq)
             rebuilt = True
+        # Standing queries resume at their durable frontier: restore the
+        # persisted membership, then reconcile against the recovered
+        # forest — the diff is exactly the set of events the crash (or
+        # clean downtime) swallowed, delivered once via the buffer.
+        self._standing = self._make_standing_engine()
+        if persisted_subs:
+            for query_id, spec, members in persisted_subs:
+                self._standing.restore_subscription(query_id, spec, members)
+            if self._standing.reconcile(self._commit_seq):
+                rebuilt = True
         if replayed or rebuilt:
             self._checkpoint()
         self._batches_since_checkpoint = 0

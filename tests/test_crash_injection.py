@@ -136,3 +136,86 @@ def test_truncation_inside_earlier_record_drops_the_tail(tmp_path, engine):
         workdir, CONFIG, checkpoint_every=1000, engine=engine
     )
     assert store_state(recovered) == middle_state
+
+
+def _replay_notifications(initial, events, query_id):
+    """A subscriber's view: fold the drained events over the matches it
+    held before the crash.  The enter/leave preconditions double as the
+    no-duplicate/no-drop check — a double-delivered enter or a dropped
+    leave trips the assertions."""
+    members = dict(initial)
+    for event in events:
+        if event.query_id != query_id:
+            continue
+        if event.kind == "enter":
+            assert event.document_id not in members, "double-delivered enter"
+            members[event.document_id] = event.distance
+        elif event.kind == "leave":
+            assert event.document_id in members, "leave without membership"
+            del members[event.document_id]
+        else:
+            assert event.document_id in members, "update without membership"
+            members[event.document_id] = event.distance
+    return sorted(members.items(), key=lambda pair: (pair[1], pair[0]))
+
+
+@pytest.mark.parametrize("engine", ["replay", "batch"])
+def test_standing_state_survives_torn_wal(tmp_path, engine):
+    """Subscriptions and the notification frontier ride the same
+    snapshot/WAL protocol as the documents: torn at every byte offset
+    of the final record, the reopened store must still hold the
+    subscription, its membership must equal full re-evaluation over
+    the recovered documents, and the recovery catch-up events folded
+    over the pre-crash matches must land exactly there — never a
+    double delivery, never a drop."""
+    from repro.edits import Delete, Rename
+    from repro.query import ApproxLookup
+
+    origin = str(tmp_path / "origin")
+    store = build_store(origin, engine)
+    # A query at distance 0 of document 1's current state: a member
+    # now, evicted once the final batch rewrites the document.
+    plan = ApproxLookup(store.get_document(1), 0.3)
+    pre_matches = store.subscribe("crashy", plan)  # checkpoints (WAL empty)
+    assert [match[0] for match in pre_matches] == [1]
+    wal_path = os.path.join(origin, WAL)
+    final_record_start = os.path.getsize(wal_path)
+    assert final_record_start == 0  # subscribe truncated the WAL
+
+    store.apply_edits(1, [Rename(1, "aa"), Delete(3), Rename(5, "ff")])
+    post_batch = store_state(store)
+    post_matches = store.standing_matches("crashy")
+    assert post_matches != pre_matches  # the batch moves the membership
+    wal_size = os.path.getsize(wal_path)
+
+    for offset in range(final_record_start, wal_size + 1):
+        workdir = str(tmp_path / f"standing_{engine}_{offset}")
+        shutil.copytree(origin, workdir)
+        with open(os.path.join(workdir, WAL), "r+b") as handle:
+            handle.truncate(offset)
+        reopened = DocumentStore(
+            workdir, CONFIG, checkpoint_every=1000, engine=engine
+        )  # must never raise
+        assert reopened.standing_query_ids() == ["crashy"]
+        recovered_matches = reopened.standing_matches("crashy")
+        assert recovered_matches == reopened.query(plan).matches
+        committed = store_state(reopened) == post_batch
+        assert recovered_matches == (
+            post_matches if committed else pre_matches
+        )
+        events = reopened.drain_notifications()
+        assert _replay_notifications(
+            pre_matches, events, "crashy"
+        ) == recovered_matches
+        if not committed:
+            assert events == []  # nothing to catch up on
+        reopened.close()
+        # Recovery checkpointed the reconciled frontier: a second
+        # reopen owes the subscriber nothing.
+        again = DocumentStore(
+            workdir, CONFIG, checkpoint_every=1000, engine=engine
+        )
+        assert again.drain_notifications() == []
+        assert again.standing_matches("crashy") == recovered_matches
+        again.close()
+        shutil.rmtree(workdir)

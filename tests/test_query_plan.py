@@ -123,6 +123,36 @@ class TestPlanAlgebra:
             And(ApproxLookup(tree, 0.5), HasLabel("a"))
         ) != plan_fingerprint(And(ApproxLookup(tree, 0.5), Not(HasLabel("a"))))
 
+    def test_fingerprint_tau_float_representation(self):
+        """Regression: τ values that print identically at repr's usual
+        precision — or compare unequal to themselves (NaN) — must still
+        key distinct, self-consistent fingerprints, while numerically
+        equal spellings keep colliding."""
+        from repro.query import normalize_tau
+
+        tree = random_labelled_tree(5, seed=1)
+        # Distinct doubles that many format strings collapse: the next
+        # representable double after 0.5 selects a (potentially)
+        # different neighborhood and must never share a cache entry.
+        nudged = float.fromhex("0x1.0000000000001p-1")
+        assert f"{0.5:.12g}" == f"{nudged:.12g}"  # printably identical
+        assert plan_fingerprint(ApproxLookup(tree, 0.5)) != plan_fingerprint(
+            ApproxLookup(tree, nudged)
+        )
+        # Numerically equal spellings still collide (int vs float).
+        assert plan_fingerprint(ApproxLookup(tree, 1)) == plan_fingerprint(
+            ApproxLookup(tree, 1.0)
+        )
+        # NaN is unequal to itself, which would poison a raw-float key;
+        # the normalized form is a stable, self-equal text.
+        nan = float("nan")
+        assert normalize_tau(nan) == normalize_tau(nan)
+        assert plan_fingerprint(ApproxLookup(tree, nan)) == plan_fingerprint(
+            ApproxLookup(tree, nan)
+        )
+        assert normalize_tau(0.5) == normalize_tau(0.5)
+        assert normalize_tau(0.5) != normalize_tau(nudged)
+
     def test_describe_mentions_every_node(self):
         tree = random_labelled_tree(3, seed=0)
         text = describe(
