@@ -26,12 +26,17 @@ standing-query check (32 registered plans over a 10k-document forest
 under streaming edits — Δ-routed incremental maintenance must beat
 naive per-batch re-evaluation by ≥ 5x,
 ``standing_incremental_ratio`` ≤ ``STREAMING_INCREMENTAL_TOLERANCE``,
-membership-identical arms, BENCH_stream.json), writes
+membership-identical arms, BENCH_stream.json), plus the serving
+check (a 10k-document collection served over a real socket — a mixed
+read/write/standing workload records client round-trip latencies and
+a pipelined overload burst must shed without mutating state,
+``serve_shed_correctness`` == 1.0, BENCH_serve.json), writes
 machine-readable results to ``benchmarks/results/BENCH_lookup.json``
 / ``BENCH_backend.json`` / ``BENCH_update.json`` /
 ``BENCH_maintain.json`` / ``BENCH_metrics.json`` /
 ``BENCH_segment.json`` / ``BENCH_size.json`` /
-``BENCH_query.json`` / ``BENCH_stream.json``, and exits non-zero
+``BENCH_query.json`` / ``BENCH_stream.json`` /
+``BENCH_serve.json``, and exits non-zero
 when any measured wall time regresses more than ``TOLERANCE``× against
 the checked-in baseline::
 
@@ -116,6 +121,7 @@ QUERY_RARE_LABEL = "rare-venue"
 STREAM_TREE_COUNT = 10_000
 STREAM_QUERY_COUNT = 32
 STREAM_BATCHES = 8
+SERVE_DOCUMENT_COUNT = 10_000
 CONFIG = GramConfig(3, 3)
 
 
@@ -550,6 +556,25 @@ def measure_streaming() -> Dict[str, float]:
     return run_stream(STREAM_TREE_COUNT, STREAM_QUERY_COUNT, STREAM_BATCHES)
 
 
+def measure_serving() -> Dict[str, float]:
+    """Serving-front-door gate: shed requests must never mutate state.
+
+    A 10k-document collection is served over a real socket; a mixed
+    read/write/standing workload records client-side round-trip
+    latencies (``serve_lookup_p95_ms`` / ``serve_apply_p95_ms`` — kept
+    out of the wall-time baseline, like the metrics arms, because
+    socket round trips are load-sensitive), then a pipelined burst
+    overwhelms a deliberately tight tenant and
+    ``serve_shed_correctness`` checks the node-count invariant: final
+    count == pre-burst count + acknowledged inserts, with at least one
+    request actually shed.  1.0 or the gate fails — a shed reply that
+    mutated state is corruption, not slowness.
+    """
+    from bench_serving import run_serving
+
+    return run_serving(SERVE_DOCUMENT_COUNT)
+
+
 def run(rebaseline: bool, tolerance: float = TOLERANCE) -> int:
     lookup = measure_lookup()
     backend = measure_backend()
@@ -560,6 +585,7 @@ def run(rebaseline: bool, tolerance: float = TOLERANCE) -> int:
     metrics = measure_metrics_overhead()
     query = measure_query()
     stream = measure_streaming()
+    serving = measure_serving()
     for name, payload in (
         ("BENCH_lookup.json", lookup),
         ("BENCH_backend.json", backend),
@@ -570,6 +596,7 @@ def run(rebaseline: bool, tolerance: float = TOLERANCE) -> int:
         ("BENCH_metrics.json", metrics),
         ("BENCH_query.json", query),
         ("BENCH_stream.json", stream),
+        ("BENCH_serve.json", serving),
     ):
         with open(results_path(name), "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2, sort_keys=True)
@@ -579,7 +606,9 @@ def run(rebaseline: bool, tolerance: float = TOLERANCE) -> int:
     # their gate is the enabled/disabled ratio, checked below, which is
     # machine-independent in a way the absolute times are not.  The size
     # arms stay out for the same reason: their gates are the
-    # compression and compressed-lookup ratios.
+    # compression and compressed-lookup ratios.  The serving latencies
+    # stay out too (socket round trips are load-sensitive); their gate
+    # is the shed-correctness bit.
     current = {
         key: value
         for key, value in {
@@ -696,6 +725,24 @@ def run(rebaseline: bool, tolerance: float = TOLERANCE) -> int:
         f"limit {STREAMING_INCREMENTAL_TOLERANCE:.2f}x) "
         + ("REGRESSION" if incremental_ratio > STREAMING_INCREMENTAL_TOLERANCE
            else "ok")
+    )
+    shed_correctness = serving["serve_shed_correctness"]
+    if shed_correctness != 1.0:
+        overhead_failures.append(
+            f"serve_shed_correctness: {shed_correctness:.0f} (!= 1) — a "
+            f"shed request mutated state, or the overload burst failed "
+            f"to shed ({serving['serve_burst_shed']:.0f} shed of "
+            f"{serving['serve_burst_requests']:.0f})"
+        )
+    print(
+        f"  serve_shed_correctness: {shed_correctness:.0f} "
+        f"(burst {serving['serve_burst_requests']:.0f}: "
+        f"{serving['serve_burst_acked']:.0f} acked + "
+        f"{serving['serve_burst_shed']:.0f} shed, lookup p95 "
+        f"{serving['serve_lookup_p95_ms']:.1f} ms, apply p95 "
+        f"{serving['serve_apply_p95_ms']:.1f} ms over "
+        f"{SERVE_DOCUMENT_COUNT} documents) "
+        + ("ok" if shed_correctness == 1.0 else "REGRESSION")
     )
     compress_ratio = size["compress_lookup_ratio"]
     if compress_ratio > COMPRESS_LOOKUP_TOLERANCE:

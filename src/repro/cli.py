@@ -7,6 +7,8 @@ over XML files and store directories:
 - ``distance``  pq-gram distance between two XML files
 - ``diff``      edit script between two XML file versions
 - ``metrics``   open a store with observability on, emit the registry
+- ``serve``     run the network front door over per-tenant stores
+  (NDJSON protocol, admission control, graceful SIGTERM drain)
 - ``store ...`` manage a durable document store:
   ``store create / add / edit / applylog / lookup / list / show /
   stats / verify / duplicates / soak``
@@ -32,6 +34,7 @@ Examples::
     python -m repro store --dir ./mystore verify
     python -m repro metrics --dir ./mystore --format prometheus
     python -m repro metrics --dir ./mystore --query query.xml --tau 0.4
+    python -m repro serve --dir ./serving --port 7410 --tenants alpha,beta
 """
 
 from __future__ import annotations
@@ -114,6 +117,63 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     metrics_parser.add_argument("--tau", type=float, default=0.5)
     _add_gram_arguments(metrics_parser)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="run the network front door: an asyncio TCP server "
+        "multiplexing per-tenant stores behind a newline-delimited "
+        "JSON protocol (lookup/query/apply_edits/subscribe) with "
+        "token-bucket + bounded-queue admission control; SIGTERM "
+        "drains gracefully (stop accepting, flush, checkpoint, close)",
+    )
+    serve_parser.add_argument("--dir", required=True, help="serving root; tenant T lives in <dir>/T")
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 binds an ephemeral port, announced on stdout)",
+    )
+    serve_parser.add_argument(
+        "--tenants",
+        default="default",
+        help="comma-separated tenant names (default 'default')",
+    )
+    serve_parser.add_argument(
+        "--serve-threads",
+        type=int,
+        default=4,
+        metavar="N",
+        help="worker threads executing admitted requests (default 4)",
+    )
+    serve_parser.add_argument(
+        "--rate",
+        type=float,
+        default=200.0,
+        help="token-bucket refill per tenant, requests/second (default 200)",
+    )
+    serve_parser.add_argument(
+        "--burst",
+        type=float,
+        default=50.0,
+        help="token-bucket capacity per tenant (default 50; 0 sheds "
+        "every request — the tenant-off switch)",
+    )
+    serve_parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="admitted-but-unfinished requests per tenant before "
+        "load-shedding (default 64)",
+    )
+    serve_parser.add_argument(
+        "--max-wait",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="queue wait past which an admitted request is shed at "
+        "pickup instead of executed (default 2.0)",
+    )
 
     store_parser = commands.add_parser("store", help="manage a document store")
     store_parser.add_argument("--dir", required=True, help="store directory")
@@ -458,6 +518,62 @@ def _command_metrics(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(arguments: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve import AdmissionPolicy, FrontDoor
+
+    tenants = [
+        name.strip() for name in arguments.tenants.split(",") if name.strip()
+    ] or ["default"]
+    front_door = FrontDoor(
+        directory=arguments.dir,
+        tenants=tenants,
+        host=arguments.host,
+        port=arguments.port,
+        serve_threads=arguments.serve_threads,
+        policy=AdmissionPolicy(
+            rate=arguments.rate,
+            burst=arguments.burst,
+            max_queue=arguments.max_queue,
+            max_wait_seconds=arguments.max_wait,
+        ),
+    )
+
+    async def serve() -> None:
+        loop = asyncio.get_running_loop()
+
+        def report_drain(task: "asyncio.Task[None]") -> None:
+            error = task.exception()
+            if error is not None:
+                print(f"drain failed: {error}", file=sys.stderr)
+
+        def initiate_drain(signal_name: str) -> None:
+            print(f"{signal_name}: draining...", file=sys.stderr)
+            asyncio.ensure_future(front_door.drain()).add_done_callback(
+                report_drain
+            )
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                signum, initiate_drain, signal.Signals(signum).name
+            )
+
+        def announce(door: FrontDoor) -> None:
+            print(
+                f"serving tenant(s) {', '.join(tenants)} on "
+                f"{arguments.host}:{door.port}",
+                flush=True,
+            )
+
+        await front_door.run(on_ready=announce)
+
+    asyncio.run(serve())
+    print("drained and closed", flush=True)
+    return 0
+
+
 def _command_store(arguments: argparse.Namespace) -> int:
     if arguments.store_command == "create":
         import os
@@ -713,6 +829,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "distance": _command_distance,
         "diff": _command_diff,
         "metrics": _command_metrics,
+        "serve": _command_serve,
         "store": _command_store,
     }
     try:

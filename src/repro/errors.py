@@ -80,6 +80,26 @@ class QueryError(ReproError):
     and no document provider to post-filter with, ...)."""
 
 
+class ServeError(ReproError):
+    """Base class for errors raised by the network serving layer."""
+
+
+class ProtocolError(ServeError):
+    """A wire frame is malformed (not JSON, not an object, missing a
+    required field, oversized)."""
+
+
+class OverloadedError(ServeError):
+    """The server shed this request instead of executing it (token
+    bucket empty, admission queue full, queue wait past the bound, or
+    the server is draining).  The request was **not** executed — a
+    shed ``apply_edits`` has not touched the store."""
+
+    def __init__(self, reason: str, message: str = "") -> None:
+        super().__init__(message or f"request shed ({reason})")
+        self.reason = reason
+
+
 class XmlError(ReproError):
     """The XML tokenizer or parser met malformed input."""
 

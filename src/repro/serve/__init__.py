@@ -1,0 +1,35 @@
+"""The network serving front door.
+
+``repro.serve`` is the edge of the system: an asyncio TCP listener
+speaking a newline-delimited JSON protocol (:mod:`repro.serve.protocol`)
+over per-tenant :class:`~repro.service.store.DocumentStore` collections,
+with first-class admission control (:mod:`repro.serve.admission`) —
+token-bucket rate limiting, a bounded per-tenant admission queue, and
+queue-wait load shedding with 429-style replies that provably never
+executed — plus graceful SIGTERM drain and ``serve_*`` observability.
+
+Start it from the CLI (``python -m repro.cli serve --dir DIR --port P
+--tenants a,b``), in-process for tests and benchmarks
+(:func:`serve_in_thread`), and talk to it with
+:class:`~repro.serve.client.ServeClient`.
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    TokenBucket,
+)
+from repro.serve.client import ServeClient, ServeRequestError, wait_for_server
+from repro.serve.server import FrontDoor, ServerHandle, serve_in_thread
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "FrontDoor",
+    "ServeClient",
+    "ServeRequestError",
+    "ServerHandle",
+    "TokenBucket",
+    "serve_in_thread",
+    "wait_for_server",
+]

@@ -1,0 +1,350 @@
+"""Blocking client for the serving front door.
+
+One :class:`ServeClient` wraps one TCP connection.  Calls are
+synchronous request/reply; standing-query events that arrive while a
+reply is awaited are buffered and handed out by :meth:`next_event` /
+:meth:`drain_events`.  The client raises:
+
+- :class:`~repro.errors.OverloadedError` for shed replies (429/503) —
+  the request was **not** executed, retry is safe for reads and
+  idempotent writes;
+- :class:`ServeRequestError` for every other error reply (bad
+  request, unknown document/tenant, handler failure), carrying the
+  server's ``code``/``status``.
+
+The pipelined entry point :meth:`burst` ships many requests before
+reading any reply — the overload-burst driver in CI and the serving
+benchmark use it to fill the admission queue faster than one
+round-trip per request ever could.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.edits.ops import EditOperation
+from repro.edits.serialize import format_operations
+from repro.errors import OverloadedError, ProtocolError, ServeError
+from repro.serve.protocol import decode_frame, encode_frame
+from repro.tree.builder import tree_to_brackets
+from repro.tree.tree import Tree
+
+TreeLike = Union[Tree, str]
+Match = Tuple[int, float]
+
+
+class ServeRequestError(ServeError):
+    """The server replied with a non-shed error."""
+
+    def __init__(self, code: str, status: int, message: str) -> None:
+        super().__init__(f"[{code}/{status}] {message}")
+        self.code = code
+        self.status = status
+
+
+def _brackets(tree: TreeLike) -> str:
+    return tree if isinstance(tree, str) else tree_to_brackets(tree)
+
+
+class ServeClient:
+    """One connection to the front door; not thread-safe — use one
+    client per thread (connections are cheap, the server multiplexes)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        tenant: str = "default",
+        timeout: float = 30.0,
+    ) -> None:
+        self.tenant = tenant
+        self._timeout = timeout
+        self._socket = socket.create_connection((host, port), timeout=timeout)
+        self._buffer = bytearray()
+        self._events: Deque[Dict[str, object]] = deque()
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        self._socket.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _send(self, frame: Dict[str, object]) -> None:
+        self._socket.sendall(encode_frame(frame))
+
+    def _read_line(self, timeout: Optional[float]) -> Optional[bytes]:
+        """One ``\\n``-terminated line, or ``None`` on timeout.
+
+        A manual receive buffer (not ``makefile``): a timed-out wait
+        leaves any partial line buffered and the connection healthy,
+        which is what lets :meth:`next_event` poll without poisoning
+        later request/reply reads.
+        """
+        while True:
+            newline = self._buffer.find(b"\n")
+            if newline >= 0:
+                line = bytes(self._buffer[: newline + 1])
+                del self._buffer[: newline + 1]
+                return line
+            self._socket.settimeout(timeout)
+            try:
+                chunk = self._socket.recv(65536)
+            except (socket.timeout, TimeoutError):
+                return None
+            finally:
+                self._socket.settimeout(self._timeout)
+            if not chunk:
+                raise ServeError("connection closed by server")
+            self._buffer += chunk
+
+    def _read_frame(self) -> Dict[str, object]:
+        line = self._read_line(self._timeout)
+        if line is None:
+            raise ServeError(
+                f"no reply within {self._timeout}s (request timed out)"
+            )
+        return decode_frame(line)
+
+    def _read_reply(self, request_id: int) -> Dict[str, object]:
+        """Read until the reply for ``request_id``; buffer events."""
+        while True:
+            frame = self._read_frame()
+            if "event" in frame:
+                self._events.append(frame)
+                continue
+            if frame.get("id") != request_id:
+                raise ProtocolError(
+                    f"reply id {frame.get('id')!r} does not match "
+                    f"request id {request_id}"
+                )
+            return frame
+
+    @staticmethod
+    def _unwrap(frame: Dict[str, object]) -> Dict[str, object]:
+        if frame.get("ok"):
+            return frame["result"]  # type: ignore[return-value]
+        error = frame.get("error") or {}
+        if frame.get("shed"):
+            raise OverloadedError(
+                str(error.get("reason", "overloaded")),
+                str(error.get("message", "")),
+            )
+        raise ServeRequestError(
+            str(error.get("code", "internal")),
+            int(error.get("status", 500)),  # type: ignore[arg-type]
+            str(error.get("message", "")),
+        )
+
+    def _request(self, verb: str, **fields: object) -> Dict[str, object]:
+        self._next_id += 1
+        request_id = self._next_id
+        frame: Dict[str, object] = {
+            "id": request_id,
+            "verb": verb,
+            "tenant": self.tenant,
+        }
+        frame.update(
+            (key, value) for key, value in fields.items() if value is not None
+        )
+        self._send(frame)
+        return self._unwrap(self._read_reply(request_id))
+
+    # ------------------------------------------------------------------
+    # verbs
+    # ------------------------------------------------------------------
+
+    def ping(self) -> Dict[str, object]:
+        return self._request("ping")
+
+    def add_document(self, document_id: int, tree: TreeLike) -> int:
+        """Add a document; returns its node count as indexed."""
+        result = self._request(
+            "add", doc=document_id, tree=_brackets(tree)
+        )
+        return int(result["nodes"])  # type: ignore[arg-type]
+
+    def show(self, document_id: int) -> Dict[str, object]:
+        """``{"doc": id, "nodes": n, "tree": brackets}``."""
+        return self._request("show", doc=document_id)
+
+    def apply_edits(
+        self,
+        document_id: int,
+        operations: "Union[Sequence[EditOperation], str]",
+    ) -> int:
+        """Durably apply one edit batch; returns the operation count.
+
+        Raises :class:`~repro.errors.OverloadedError` when shed — the
+        batch was then **not** applied, in whole or in part.
+        """
+        text = (
+            operations
+            if isinstance(operations, str)
+            else format_operations(operations)
+        )
+        result = self._request("apply_edits", doc=document_id, ops=text)
+        return int(result["applied"])  # type: ignore[arg-type]
+
+    def lookup(self, query: TreeLike, tau: float) -> List[Match]:
+        result = self._request("lookup", query=_brackets(query), tau=tau)
+        return [(int(doc), float(dist)) for doc, dist in result["matches"]]  # type: ignore[union-attr]
+
+    def query(
+        self,
+        query: TreeLike,
+        tau: Optional[float] = None,
+        k: Optional[int] = None,
+        predicates: Optional[List[Dict[str, object]]] = None,
+    ) -> Dict[str, object]:
+        """Structural query; ``predicates`` uses the plan-spec shape
+        (``{"kind": "has_label", "label": ..., "negated": ...}``)."""
+        result = self._request(
+            "query",
+            query=_brackets(query),
+            tau=tau,
+            k=k,
+            predicates=predicates or [],
+        )
+        result["matches"] = [
+            (int(doc), float(dist)) for doc, dist in result["matches"]  # type: ignore[union-attr]
+        ]
+        return result
+
+    def subscribe(
+        self,
+        query_id: str,
+        query: TreeLike,
+        tau: Optional[float] = None,
+        k: Optional[int] = None,
+        predicates: Optional[List[Dict[str, object]]] = None,
+        keep: bool = False,
+    ) -> List[Match]:
+        """Register a standing query; its events stream back over
+        *this* connection (``next_event``).  Returns the initial
+        matches.  ``keep=True`` leaves the durable subscription
+        registered after the connection closes."""
+        result = self._request(
+            "subscribe",
+            query_id=query_id,
+            query=_brackets(query),
+            tau=tau,
+            k=k,
+            predicates=predicates or [],
+            keep=keep,
+        )
+        return [(int(doc), float(dist)) for doc, dist in result["matches"]]  # type: ignore[union-attr]
+
+    def unsubscribe(self, query_id: str) -> None:
+        self._request("unsubscribe", query_id=query_id)
+
+    def stats(self) -> Dict[str, object]:
+        return self._request("stats")
+
+    def metrics(self) -> Dict[str, object]:
+        """The server's ``serve_*`` counters and gauges."""
+        return self._request("metrics")
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+
+    def next_event(self, timeout: float = 1.0) -> Optional[Dict[str, object]]:
+        """The next buffered or arriving event frame, or ``None`` after
+        ``timeout`` seconds of silence."""
+        if self._events:
+            return self._events.popleft()
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return None
+            line = self._read_line(remaining)
+            if line is None:
+                return None
+            frame = decode_frame(line)
+            if "event" in frame:
+                return frame
+            raise ProtocolError(
+                "unsolicited non-event frame while waiting for events"
+            )
+
+    def drain_events(self, timeout: float = 0.2) -> List[Dict[str, object]]:
+        """Every event available within ``timeout`` of the last one."""
+        events: List[Dict[str, object]] = []
+        while True:
+            event = self.next_event(timeout)
+            if event is None:
+                return events
+            events.append(event)
+
+    # ------------------------------------------------------------------
+    # pipelined bursts
+    # ------------------------------------------------------------------
+
+    def burst(
+        self, requests: Sequence[Dict[str, object]]
+    ) -> "Tuple[List[Dict[str, object]], int]":
+        """Ship every request before reading any reply.
+
+        Each entry is ``{"verb": ..., **fields}``; tenant and ids are
+        filled in.  Returns ``(replies, shed_count)`` with replies in
+        request order — shed replies stay in the list (``shed: true``)
+        so callers can pair acknowledgements with their requests.
+        """
+        ids: List[int] = []
+        payload = bytearray()
+        for request in requests:
+            self._next_id += 1
+            frame: Dict[str, object] = {
+                "id": self._next_id,
+                "tenant": self.tenant,
+            }
+            frame.update(request)
+            ids.append(self._next_id)
+            payload += encode_frame(frame)
+        self._socket.sendall(bytes(payload))
+        by_id: Dict[object, Dict[str, object]] = {}
+        wanted = set(ids)
+        while wanted:
+            frame = self._read_frame()
+            if "event" in frame:
+                self._events.append(frame)
+                continue
+            frame_id = frame.get("id")
+            if frame_id in wanted:
+                wanted.discard(frame_id)  # type: ignore[arg-type]
+                by_id[frame_id] = frame
+        replies = [by_id[request_id] for request_id in ids]
+        shed = sum(1 for reply in replies if reply.get("shed"))
+        return replies, shed
+
+
+def wait_for_server(
+    host: str, port: int, timeout: float = 30.0, tenant: str = "default"
+) -> None:
+    """Poll until the front door answers a ping (CI boot barrier)."""
+    deadline = time.monotonic() + timeout
+    last_error: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            with ServeClient(host, port, tenant=tenant, timeout=5.0) as client:
+                client.ping()
+                return
+        except (OSError, ServeError, OverloadedError) as exc:
+            last_error = exc
+            time.sleep(0.2)
+    raise ServeError(
+        f"server at {host}:{port} did not come up within {timeout}s "
+        f"(last error: {last_error})"
+    )
